@@ -1,0 +1,92 @@
+//! Ablation benches for the design choices DESIGN.md calls out.
+//!
+//! * receive-two vs receive-all: how much work (and cost) the extra client
+//!   bandwidth buys (Theorems 19/20);
+//! * buffer caps: replanning cost as B shrinks (§3.3);
+//! * dyadic α: classic α = 2 vs the paper's α = φ;
+//! * batching gain (Theorem 14) across L.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use sm_bench::constant_arrivals;
+use sm_offline::closed_form::ClosedForm;
+use sm_offline::{bounds, forest, receive_all};
+use sm_online::dyadic::{dyadic_total_cost, DyadicConfig};
+use std::hint::black_box;
+
+fn bench_receive_models(c: &mut Criterion) {
+    let mut g = c.benchmark_group("receive_models");
+    let cf = ClosedForm::new();
+    g.bench_function("receive_two_full_cost_L1000_n_1e5", |b| {
+        b.iter(|| {
+            black_box(forest::optimal_full_cost_with(
+                &cf,
+                black_box(1000),
+                black_box(100_000),
+            ))
+        })
+    });
+    g.bench_function("receive_all_full_cost_L1000_n_1e5", |b| {
+        b.iter(|| {
+            black_box(receive_all::optimal_full_cost(
+                black_box(1000),
+                black_box(100_000),
+            ))
+        })
+    });
+    g.bench_function("receive_all_tree_n_10k", |b| {
+        b.iter(|| black_box(receive_all::optimal_merge_tree(black_box(10_000))))
+    });
+    g.finish();
+}
+
+fn bench_buffer_caps(c: &mut Criterion) {
+    let cf = ClosedForm::new();
+    c.bench_function("buffer_cap_sweep_L100_n_10k", |b| {
+        b.iter(|| {
+            let mut acc = 0u64;
+            for buffer in [2u64, 4, 8, 16, 32, 49] {
+                let (_, cost) =
+                    forest::optimal_s_bounded_buffer(&cf, black_box(100), black_box(10_000), buffer);
+                acc = acc.wrapping_add(cost);
+            }
+            black_box(acc)
+        })
+    });
+}
+
+fn bench_dyadic_alpha(c: &mut Criterion) {
+    let mut g = c.benchmark_group("dyadic_alpha");
+    g.sample_size(30);
+    let arrivals = constant_arrivals(50_000, 0.1);
+    for (name, cfg) in [
+        ("alpha_2", DyadicConfig::classic()),
+        ("alpha_phi", DyadicConfig::golden_poisson()),
+    ] {
+        g.bench_function(name, |b| {
+            b.iter(|| black_box(dyadic_total_cost(cfg, black_box(100.0), black_box(&arrivals))))
+        });
+    }
+    g.finish();
+}
+
+fn bench_batching_gain(c: &mut Criterion) {
+    let cf = ClosedForm::new();
+    c.bench_function("theorem14_gain_L_10..10k", |b| {
+        b.iter(|| {
+            let mut acc = 0.0f64;
+            for l in [10u64, 100, 1_000, 10_000] {
+                acc += bounds::batching_gain(&cf, l, l * 100);
+            }
+            black_box(acc)
+        })
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_receive_models,
+    bench_buffer_caps,
+    bench_dyadic_alpha,
+    bench_batching_gain
+);
+criterion_main!(benches);

@@ -1,0 +1,67 @@
+//! Benches for the static broadcasting substrate: scheme construction +
+//! verification throughput, and the analytic-vs-sweep verifier ablation.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use sm_broadcast::verify::{check_deadlines, verify_all_phases};
+use sm_broadcast::{
+    fast_broadcasting, pyramid_broadcasting, skyscraper_broadcasting, static_tradeoff,
+    HarmonicPlan,
+};
+use std::hint::black_box;
+
+fn bench_scheme_verification(c: &mut Criterion) {
+    let mut g = c.benchmark_group("broadcast_verify");
+    let sky = skyscraper_broadcasting(89, 1, u64::MAX).unwrap();
+    g.bench_function("skyscraper_L89_sweep", |b| {
+        b.iter(|| black_box(verify_all_phases(black_box(&sky), Some(2), 1_000_000).unwrap()))
+    });
+    let fast = fast_broadcasting(7, 1).unwrap();
+    g.bench_function("fast_7ch_sweep", |b| {
+        b.iter(|| black_box(verify_all_phases(black_box(&fast), None, 1_000_000).unwrap()))
+    });
+    g.finish();
+}
+
+fn bench_analytic_vs_sweep(c: &mut Criterion) {
+    // The O(K) analytic feasibility check vs the full hyperperiod sweep —
+    // the design choice that makes pyramid plans verifiable at all.
+    let mut g = c.benchmark_group("analytic_vs_sweep");
+    let plan = skyscraper_broadcasting(89, 1, u64::MAX).unwrap();
+    g.bench_function("analytic_O_K", |b| {
+        b.iter(|| check_deadlines(black_box(&plan)).unwrap())
+    });
+    g.bench_function("sweep_hyperperiod", |b| {
+        b.iter(|| black_box(verify_all_phases(black_box(&plan), None, 1_000_000).unwrap()))
+    });
+    g.finish();
+}
+
+fn bench_scheme_construction(c: &mut Criterion) {
+    let mut g = c.benchmark_group("broadcast_build");
+    g.bench_function("pyramid_L10000", |b| {
+        b.iter(|| black_box(pyramid_broadcasting(black_box(10_000), 1, 1.7).unwrap()))
+    });
+    g.bench_function("harmonic_verify_K256", |b| {
+        b.iter(|| {
+            let plan = HarmonicPlan::new(black_box(256 * 4), 256).unwrap();
+            plan.verify_delayed().unwrap();
+            black_box(plan)
+        })
+    });
+    g.finish();
+}
+
+fn bench_tradeoff_table(c: &mut Criterion) {
+    c.bench_function("static_tradeoff_L100_D1", |b| {
+        b.iter(|| black_box(static_tradeoff(black_box(100), black_box(1)).unwrap()))
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_scheme_verification,
+    bench_analytic_vs_sweep,
+    bench_scheme_construction,
+    bench_tradeoff_table
+);
+criterion_main!(benches);

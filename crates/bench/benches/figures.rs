@@ -1,0 +1,83 @@
+//! One bench per evaluation figure: each regenerates a reduced-size
+//! instance of the figure's data series (the full-size regenerators are the
+//! `sm-experiments` binaries; these benches keep the pipelines measured and
+//! exercised under `cargo bench`).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use sm_experiments::intensity::{self, ArrivalKind, IntensityConfig};
+use sm_experiments::{fig1, fig8, fig9};
+use std::hint::black_box;
+
+fn bench_fig1(c: &mut Criterion) {
+    c.bench_function("fig1_bandwidth_vs_delay", |b| {
+        b.iter(|| {
+            black_box(fig1::compute(
+                black_box(20),
+                black_box(&[1.0, 2.0, 5.0, 10.0, 20.0]),
+            ))
+        })
+    });
+}
+
+fn bench_fig8(c: &mut Criterion) {
+    c.bench_function("fig8_interval_table_n55_verified", |b| {
+        b.iter(|| {
+            let rows = fig8::compute(black_box(55));
+            fig8::verify_against_dp(&rows).expect("must match DP");
+            black_box(rows)
+        })
+    });
+}
+
+fn bench_fig9(c: &mut Criterion) {
+    let configs: Vec<(u64, u64)> = vec![(50, 500), (50, 5_000), (100, 1_000), (100, 10_000)];
+    c.bench_function("fig9_online_offline_ratio", |b| {
+        b.iter(|| black_box(fig9::compute(black_box(&configs))))
+    });
+}
+
+fn small_intensity_cfg() -> IntensityConfig {
+    IntensityConfig {
+        media_slots: 100,
+        horizon_media: 10.0,
+        lambdas_pct: vec![0.1, 1.0, 5.0],
+    }
+}
+
+fn bench_fig11(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig11");
+    g.sample_size(10);
+    g.bench_function("constant_rate_sweep", |b| {
+        b.iter(|| {
+            black_box(intensity::compute(
+                black_box(&small_intensity_cfg()),
+                &ArrivalKind::ConstantRate,
+            ))
+        })
+    });
+    g.finish();
+}
+
+fn bench_fig12(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig12");
+    g.sample_size(10);
+    g.bench_function("poisson_sweep_2_seeds", |b| {
+        b.iter(|| {
+            black_box(intensity::compute(
+                black_box(&small_intensity_cfg()),
+                &ArrivalKind::Poisson { seeds: vec![1, 2] },
+            ))
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_fig1,
+    bench_fig8,
+    bench_fig9,
+    bench_fig11,
+    bench_fig12
+);
+criterion_main!(benches);

@@ -1,0 +1,115 @@
+//! Off-line algorithm benches: the paper's complexity improvements measured
+//! against the DP baselines they replace.
+//!
+//! * Theorem 3: `M(n)` in O(1) (after a 94-entry table) vs the O(n²) DP.
+//! * Theorem 7: optimal merge tree in O(n) vs the O(n²) DP construction.
+//! * Theorem 12: optimal `s` in O(1) vs the O(n) scan.
+//! * [6]'s general-arrivals interval DP: Knuth O(n²) vs naive O(n³).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use sm_offline::closed_form::ClosedForm;
+use sm_offline::{dp, forest, general, tree_builder};
+use std::hint::black_box;
+
+fn bench_merge_cost(c: &mut Criterion) {
+    let mut g = c.benchmark_group("merge_cost");
+    let cf = ClosedForm::new();
+    g.bench_function("closed_form_n_1e6", |b| {
+        b.iter(|| black_box(cf.merge_cost(black_box(1_000_000))))
+    });
+    g.bench_function("closed_form_table_1..=4096", |b| {
+        b.iter(|| {
+            let mut acc = 0u64;
+            for n in 1..=4096u64 {
+                acc = acc.wrapping_add(cf.merge_cost(n));
+            }
+            black_box(acc)
+        })
+    });
+    g.bench_function("dp_table_n_4096", |b| {
+        b.iter(|| black_box(dp::merge_cost_table(black_box(4096))))
+    });
+    g.finish();
+}
+
+fn bench_tree_construction(c: &mut Criterion) {
+    let mut g = c.benchmark_group("optimal_tree");
+    g.sample_size(20);
+    for n in [1_000usize, 10_000, 100_000] {
+        g.bench_function(format!("theorem7_linear_n_{n}"), |b| {
+            b.iter(|| black_box(tree_builder::optimal_merge_tree(black_box(n))))
+        });
+    }
+    // The quadratic baseline only at a feasible size.
+    g.bench_function("dp_quadratic_n_1000", |b| {
+        b.iter(|| black_box(dp::optimal_tree_dp(black_box(1_000))))
+    });
+    g.finish();
+}
+
+fn bench_optimal_s(c: &mut Criterion) {
+    let mut g = c.benchmark_group("optimal_full_cost");
+    let cf = ClosedForm::new();
+    g.bench_function("theorem12_direct_n_1e6", |b| {
+        b.iter(|| {
+            let s = forest::optimal_s(&cf, black_box(1000), black_box(1_000_000));
+            black_box(forest::full_cost_given_s(&cf, 1000, 1_000_000, s))
+        })
+    });
+    g.bench_function("scan_all_s_n_100k", |b| {
+        b.iter(|| black_box(forest::brute_force_optimal_s(&cf, black_box(1000), black_box(100_000))))
+    });
+    g.finish();
+}
+
+fn bench_general_dp(c: &mut Criterion) {
+    let mut g = c.benchmark_group("general_arrivals_dp");
+    g.sample_size(10);
+    // Irregular but strictly increasing gaps (3i grows by 3, i%3 drops by
+    // at most 2).
+    let times: Vec<i64> = (0..160).map(|i| i * 3 + (i % 3)).collect();
+    g.bench_function("knuth_n_160", |b| {
+        b.iter(|| black_box(general::optimal_tree(black_box(&times))))
+    });
+    g.bench_function("naive_n_160", |b| {
+        b.iter(|| black_box(general::optimal_tree_naive(black_box(&times))))
+    });
+    g.bench_function("forest_dp_n_160_L_50", |b| {
+        b.iter(|| black_box(general::optimal_forest(black_box(&times), black_box(50))))
+    });
+    // The banded forest DP at a scale the O(n²) tables could not touch:
+    // 5000 occupied slots, band = L = 100.
+    let dense: Vec<i64> = (0..5000).collect();
+    g.bench_function("forest_dp_banded_n_5000_L_100", |b| {
+        b.iter(|| black_box(general::optimal_forest(black_box(&dense), black_box(100))))
+    });
+    g.finish();
+}
+
+fn bench_forest_construction(c: &mut Criterion) {
+    let mut g = c.benchmark_group("optimal_forest");
+    g.sample_size(20);
+    g.bench_function("theorem10_L100_n_100k", |b| {
+        b.iter(|| black_box(forest::optimal_forest(black_box(100), black_box(100_000))))
+    });
+    g.bench_function("bounded_buffer_L100_B10_n_100k", |b| {
+        b.iter(|| {
+            black_box(forest::optimal_forest_bounded_buffer(
+                black_box(100),
+                black_box(100_000),
+                black_box(10),
+            ))
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_merge_cost,
+    bench_tree_construction,
+    bench_optimal_s,
+    bench_general_dp,
+    bench_forest_construction
+);
+criterion_main!(benches);

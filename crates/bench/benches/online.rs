@@ -1,0 +1,64 @@
+//! On-line algorithm throughput: the §4.2 simplicity comparison as numbers.
+//!
+//! The Delay Guaranteed algorithm does O(1) table-lookup work per slot; the
+//! dyadic algorithm maintains a stack and computes a logarithm per arrival.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use sm_bench::constant_arrivals;
+use sm_online::batching::{batch_arrivals, batched_dyadic_cost};
+use sm_online::delay_guaranteed::DelayGuaranteedOnline;
+use sm_online::dyadic::{dyadic_total_cost, DyadicConfig};
+use std::hint::black_box;
+
+fn bench_delay_guaranteed(c: &mut Criterion) {
+    let mut g = c.benchmark_group("delay_guaranteed");
+    g.bench_function("setup_L_10000", |b| {
+        b.iter(|| black_box(DelayGuaranteedOnline::new(black_box(10_000))))
+    });
+    let alg = DelayGuaranteedOnline::new(100);
+    g.bench_function("placement_lookup_1M_slots", |b| {
+        b.iter(|| {
+            let mut acc = 0usize;
+            for t in 0..1_000_000u64 {
+                acc += alg.placement(black_box(t)).position;
+            }
+            black_box(acc)
+        })
+    });
+    g.bench_function("total_cost_closed_form", |b| {
+        b.iter(|| black_box(alg.total_cost_after(black_box(123_456_789))))
+    });
+    g.finish();
+}
+
+fn bench_dyadic(c: &mut Criterion) {
+    let mut g = c.benchmark_group("dyadic");
+    g.sample_size(30);
+    let arrivals = constant_arrivals(100_000, 0.05);
+    g.bench_function("immediate_100k_arrivals", |b| {
+        b.iter(|| {
+            black_box(dyadic_total_cost(
+                DyadicConfig::golden_poisson(),
+                black_box(100.0),
+                black_box(&arrivals),
+            ))
+        })
+    });
+    g.bench_function("batched_100k_arrivals", |b| {
+        b.iter(|| {
+            black_box(batched_dyadic_cost(
+                DyadicConfig::golden_poisson(),
+                black_box(&arrivals),
+                1.0,
+                100.0,
+            ))
+        })
+    });
+    g.bench_function("batching_quantization_100k", |b| {
+        b.iter(|| black_box(batch_arrivals(black_box(&arrivals), black_box(1.0))))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_delay_guaranteed, bench_dyadic);
+criterion_main!(benches);

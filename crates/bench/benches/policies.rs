@@ -1,0 +1,73 @@
+//! Benches for the on-line policy roster: per-arrival throughput and the
+//! bandwidth each policy commits on a fixed dense workload.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use sm_bench::constant_arrivals;
+use sm_online::dyadic::{dyadic_total_cost, DyadicConfig};
+use sm_online::hierarchical::{ermt_tuned_cost, HierarchicalMerger};
+use sm_online::patching::{optimal_threshold, patching_total_cost, PatchingMerger};
+use std::hint::black_box;
+
+const MEDIA: f64 = 100.0;
+const GAP: f64 = 0.1;
+const N: usize = 50_000;
+
+fn bench_policy_throughput(c: &mut Criterion) {
+    let mut g = c.benchmark_group("policy_throughput");
+    g.sample_size(20);
+    let arrivals = constant_arrivals(N, GAP);
+    let rate = 1.0 / GAP;
+    g.bench_function("patching_50k", |b| {
+        b.iter(|| {
+            let tau = optimal_threshold(MEDIA, rate);
+            black_box(patching_total_cost(MEDIA, tau, black_box(&arrivals)))
+        })
+    });
+    g.bench_function("ermt_50k", |b| {
+        b.iter(|| black_box(ermt_tuned_cost(MEDIA, rate, black_box(&arrivals))))
+    });
+    g.bench_function("dyadic_50k", |b| {
+        b.iter(|| {
+            black_box(dyadic_total_cost(
+                DyadicConfig::golden_poisson(),
+                MEDIA,
+                black_box(&arrivals),
+            ))
+        })
+    });
+    g.finish();
+}
+
+fn bench_per_arrival_decision(c: &mut Criterion) {
+    // §4.2's implementation-complexity claim, extended to the new policies:
+    // the marginal cost of one on_arrival call.
+    let mut g = c.benchmark_group("per_arrival");
+    g.bench_function("patching_on_arrival", |b| {
+        b.iter_batched(
+            || PatchingMerger::new(MEDIA, 49.0),
+            |mut m| {
+                for i in 1..=256 {
+                    m.on_arrival(i as f64 * GAP);
+                }
+                black_box(m.roots())
+            },
+            criterion::BatchSize::SmallInput,
+        )
+    });
+    g.bench_function("ermt_on_arrival", |b| {
+        b.iter_batched(
+            || HierarchicalMerger::ermt_tuned(MEDIA, 1.0 / GAP),
+            |mut m| {
+                for i in 1..=256 {
+                    m.on_arrival(i as f64 * GAP);
+                }
+                black_box(m.roots())
+            },
+            criterion::BatchSize::SmallInput,
+        )
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_policy_throughput, bench_per_arrival_decision);
+criterion_main!(benches);

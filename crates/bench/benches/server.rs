@@ -1,0 +1,44 @@
+//! Benches for the §5 multi-object server: planning and aggregation
+//! throughput.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use sm_server::{aggregate_profile, plan_weighted, simulate_requests, Catalog};
+use std::hint::black_box;
+
+fn bench_planning(c: &mut Criterion) {
+    let mut g = c.benchmark_group("server_planning");
+    g.sample_size(20);
+    let catalog = Catalog::zipf(16, 1.0, &[120.0, 90.0, 100.0]);
+    let cands = [1.0, 2.0, 5.0, 10.0, 20.0];
+    let full = plan_weighted(&catalog, u64::MAX, &[1.0]).unwrap().total_peak;
+    g.bench_function("plan_weighted_16_titles", |b| {
+        b.iter(|| black_box(plan_weighted(black_box(&catalog), full / 2, &cands).unwrap()))
+    });
+    g.finish();
+}
+
+fn bench_aggregation(c: &mut Criterion) {
+    let mut g = c.benchmark_group("server_aggregation");
+    g.sample_size(20);
+    let catalog = Catalog::zipf(8, 1.0, &[120.0, 90.0]);
+    let cands = [2.0, 5.0];
+    let plan = plan_weighted(&catalog, u64::MAX, &cands).unwrap();
+    g.bench_function("aggregate_profile_8_titles_1day", |b| {
+        b.iter(|| black_box(aggregate_profile(&catalog, &plan, black_box(1440))))
+    });
+    g.bench_function("simulate_requests_1day", |b| {
+        b.iter(|| {
+            black_box(simulate_requests(
+                &catalog,
+                &plan,
+                black_box(1440.0),
+                2.0,
+                7,
+            ))
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_planning, bench_aggregation);
+criterion_main!(benches);

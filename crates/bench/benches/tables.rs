@@ -1,0 +1,48 @@
+//! Benches regenerating the paper's in-text tables (M(n), Mω(n), worked
+//! examples) and checking them against the stated values while measuring.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use sm_experiments::tables;
+use std::hint::black_box;
+
+fn bench_mn(c: &mut Criterion) {
+    c.bench_function("table_mn_1..=16_checked", |b| {
+        b.iter(|| {
+            let t = tables::mn_table(black_box(16));
+            for (i, (_, closed, dp)) in t.iter().enumerate() {
+                assert_eq!(*closed, tables::PAPER_MN[i]);
+                assert_eq!(*dp, tables::PAPER_MN[i]);
+            }
+            black_box(t)
+        })
+    });
+}
+
+fn bench_momega(c: &mut Criterion) {
+    c.bench_function("table_momega_1..=16_checked", |b| {
+        b.iter(|| {
+            let t = tables::momega_table(black_box(16));
+            for (i, (_, closed, dp)) in t.iter().enumerate() {
+                assert_eq!(*closed, tables::PAPER_MOMEGA[i]);
+                assert_eq!(*dp, tables::PAPER_MOMEGA[i]);
+            }
+            black_box(t)
+        })
+    });
+}
+
+fn bench_examples(c: &mut Criterion) {
+    c.bench_function("text_examples_checked", |b| {
+        b.iter(|| {
+            for (label, got, want) in tables::text_examples() {
+                assert_eq!(got, want, "{label}");
+            }
+        })
+    });
+    c.bench_function("fig7_trees", |b| {
+        b.iter(|| black_box(tables::fig7_trees()))
+    });
+}
+
+criterion_group!(benches, bench_mn, bench_momega, bench_examples);
+criterion_main!(benches);

@@ -1,0 +1,30 @@
+//! Shared helpers for the criterion benches.
+//!
+//! The benches live in `benches/`:
+//!
+//! * `offline` — the paper's `O(n²) → O(n)` improvements (Theorems 7/10/12)
+//!   measured head-to-head against the DP baselines of [6];
+//! * `online` — per-slot/per-arrival throughput of the Delay Guaranteed
+//!   algorithm vs the dyadic algorithm (§4.2's simplicity claim);
+//! * `simulator` — schedule execution throughput;
+//! * `figures` — one bench per evaluation figure (1, 8, 9, 11, 12)
+//!   regenerating a reduced-size instance of its data;
+//! * `tables` — the in-text tables (M(n), Mω(n), I(n));
+//! * `ablations` — design-choice isolates: receive-two vs receive-all,
+//!   buffer caps, Knuth vs naive interval DP, α/β choices for dyadic.
+
+/// Constant-rate arrival times in slots: `count` arrivals, `gap` slots apart.
+pub fn constant_arrivals(count: usize, gap: f64) -> Vec<f64> {
+    (1..=count).map(|i| i as f64 * gap).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn arrivals_shape() {
+        let a = constant_arrivals(3, 0.5);
+        assert_eq!(a, vec![0.5, 1.0, 1.5]);
+    }
+}

@@ -1,0 +1,134 @@
+//! Error types for broadcast plan construction and verification.
+
+use std::fmt;
+
+/// Everything that can go wrong building or verifying a periodic broadcast
+/// plan.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum BroadcastError {
+    /// A plan must contain at least one segment.
+    EmptyPlan,
+    /// Segment lengths and periods must be positive.
+    ZeroLength { segment: usize },
+    /// A segment's broadcast period must be positive.
+    ZeroPeriod { segment: usize },
+    /// A segment's phase offset must be smaller than its period.
+    OffsetOutOfRange {
+        segment: usize,
+        offset: u64,
+        period: u64,
+    },
+    /// Segment lengths do not sum to the requested media length.
+    MediaLengthMismatch { sum: u64, media_len: u64 },
+    /// The plan's hyperperiod (lcm of all periods) overflows or exceeds the
+    /// verifier's tractability bound.
+    HyperperiodTooLarge { limit: u64 },
+    /// A client arriving at `arrival` cannot receive segment `segment` by its
+    /// playback deadline: the only broadcast instance that would arrive in
+    /// time started before the client tuned in.
+    MissedDeadline {
+        arrival: u64,
+        segment: usize,
+        deadline: u64,
+    },
+    /// The client would have to receive more channels at once than the
+    /// stated receive cap (the paper's receive-two / receive-all axis).
+    ExceedsReceiveCap {
+        arrival: u64,
+        time: u64,
+        concurrent: usize,
+        cap: usize,
+    },
+    /// Scheme constructor was given parameters it cannot satisfy (e.g. zero
+    /// channels, α outside (1, 2], media shorter than one segment).
+    InvalidParameters { reason: &'static str },
+}
+
+impl fmt::Display for BroadcastError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::EmptyPlan => write!(f, "broadcast plan must contain at least one segment"),
+            Self::ZeroLength { segment } => {
+                write!(f, "segment {segment} has zero length")
+            }
+            Self::ZeroPeriod { segment } => {
+                write!(f, "segment {segment} has zero broadcast period")
+            }
+            Self::OffsetOutOfRange {
+                segment,
+                offset,
+                period,
+            } => write!(
+                f,
+                "segment {segment} has offset {offset} outside its period {period}"
+            ),
+            Self::MediaLengthMismatch { sum, media_len } => write!(
+                f,
+                "segment lengths sum to {sum} but the media is {media_len} units"
+            ),
+            Self::HyperperiodTooLarge { limit } => write!(
+                f,
+                "plan hyperperiod exceeds the verification bound of {limit} units"
+            ),
+            Self::MissedDeadline {
+                arrival,
+                segment,
+                deadline,
+            } => write!(
+                f,
+                "client arriving at {arrival} cannot receive segment {segment} \
+                 by its playback deadline {deadline}"
+            ),
+            Self::ExceedsReceiveCap {
+                arrival,
+                time,
+                concurrent,
+                cap,
+            } => write!(
+                f,
+                "client arriving at {arrival} must receive {concurrent} channels \
+                 at time {time}, exceeding the cap of {cap}"
+            ),
+            Self::InvalidParameters { reason } => {
+                write!(f, "invalid scheme parameters: {reason}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for BroadcastError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn errors_render_human_readable() {
+        let msgs = [
+            BroadcastError::EmptyPlan.to_string(),
+            BroadcastError::ZeroLength { segment: 2 }.to_string(),
+            BroadcastError::MissedDeadline {
+                arrival: 3,
+                segment: 1,
+                deadline: 7,
+            }
+            .to_string(),
+            BroadcastError::ExceedsReceiveCap {
+                arrival: 0,
+                time: 4,
+                concurrent: 3,
+                cap: 2,
+            }
+            .to_string(),
+        ];
+        for m in msgs {
+            assert!(!m.is_empty());
+        }
+    }
+
+    #[test]
+    fn error_is_std_error() {
+        fn takes_err(_: &dyn std::error::Error) {}
+        takes_err(&BroadcastError::EmptyPlan);
+    }
+}

@@ -1,0 +1,115 @@
+//! Fast broadcasting (Juhn–Tseng [27], cited in paper §1).
+//!
+//! With `k` unit-rate channels the media is cut into segments of
+//! `1, 2, 4, …, 2^{k−1}` base units — `2^k − 1` units in total — each
+//! broadcast back-to-back on its own channel. A client tunes to **all**
+//! channels at once (receive-all in the paper's terminology) and starts
+//! playback at the next segment-0 instance; the geometric doubling
+//! guarantees every later segment arrives by its playback deadline.
+//!
+//! For a media of `L` delay-units, fast broadcasting with `k` channels gives
+//! a guaranteed start-up delay of `L / (2^k − 1)` — bandwidth logarithmic in
+//! the inverse delay, the same `log` law as the optimal merge cost (Theorem
+//! 13 gives `n·log_φ L` for merging; the static schemes pay `log₂` of the
+//! delay ratio *permanently*, whether or not clients arrive).
+
+use crate::error::BroadcastError;
+use crate::plan::{Segment, SegmentPlan};
+
+/// Builds the fast-broadcasting plan with `channels` channels, scaled so the
+/// first segment (= the guaranteed delay) is `delay` units long.
+///
+/// The media covered is exactly `delay · (2^channels − 1)` units; pick
+/// `channels = ⌈log₂(L/delay + 1)⌉` to cover a media of `L` units (the last
+/// channel then covers slightly more than `L`, as in the published scheme).
+pub fn fast_broadcasting(channels: u32, delay: u64) -> Result<SegmentPlan, BroadcastError> {
+    if channels == 0 || channels > 40 {
+        return Err(BroadcastError::InvalidParameters {
+            reason: "channel count must lie in 1..=40",
+        });
+    }
+    if delay == 0 {
+        return Err(BroadcastError::InvalidParameters {
+            reason: "delay must be positive",
+        });
+    }
+    let segments = (0..channels)
+        .map(|i| Segment::back_to_back(delay << i))
+        .collect();
+    SegmentPlan::new(segments)
+}
+
+/// The number of channels fast broadcasting needs to serve a media of
+/// `media_len` units with start-up delay at most `delay` units:
+/// the smallest `k` with `delay · (2^k − 1) ≥ media_len`.
+pub fn channels_for(media_len: u64, delay: u64) -> u32 {
+    assert!(delay > 0 && media_len > 0);
+    let mut k = 0u32;
+    let mut covered = 0u64;
+    while covered < media_len {
+        covered = covered.saturating_add(delay << k);
+        k += 1;
+    }
+    k
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::verify::verify_all_phases;
+
+    #[test]
+    fn segment_lengths_double() {
+        let plan = fast_broadcasting(4, 1).unwrap();
+        let lens: Vec<u64> = plan.segments().iter().map(|s| s.length).collect();
+        assert_eq!(lens, vec![1, 2, 4, 8]);
+        assert_eq!(plan.media_len(), 15);
+        assert_eq!(plan.bandwidth_exact(), (4, 1));
+    }
+
+    #[test]
+    fn every_phase_verifies_receive_all() {
+        for k in 1..=6u32 {
+            let plan = fast_broadcasting(k, 1).unwrap();
+            let report = verify_all_phases(&plan, Some(k as usize), 10_000).unwrap();
+            assert_eq!(report.bandwidth, (k as u64, 1));
+            // Delay is the first segment: period 1 ⇒ worst integer delay 0.
+            assert_eq!(report.worst_delay, 0);
+        }
+    }
+
+    #[test]
+    fn scaled_delay_verifies() {
+        let plan = fast_broadcasting(4, 3).unwrap();
+        assert_eq!(plan.media_len(), 45);
+        let report = verify_all_phases(&plan, None, 10_000).unwrap();
+        assert_eq!(report.worst_delay, 2); // period 3 ⇒ worst integer phase 2
+    }
+
+    #[test]
+    fn needs_more_than_receive_two_eventually() {
+        // Fast broadcasting is a receive-all scheme: with 4 channels a cap
+        // of 2 must fail.
+        let plan = fast_broadcasting(4, 1).unwrap();
+        assert!(verify_all_phases(&plan, Some(2), 10_000).is_err());
+    }
+
+    #[test]
+    fn channels_for_matches_geometry() {
+        // delay 1: 1 channel covers 1, 2 cover 3, 3 cover 7, 4 cover 15.
+        assert_eq!(channels_for(1, 1), 1);
+        assert_eq!(channels_for(3, 1), 2);
+        assert_eq!(channels_for(4, 1), 3);
+        assert_eq!(channels_for(7, 1), 3);
+        assert_eq!(channels_for(8, 1), 4);
+        assert_eq!(channels_for(100, 1), 7); // 2^7−1 = 127 ≥ 100
+        assert_eq!(channels_for(100, 10), 4); // 10·15 = 150 ≥ 100
+    }
+
+    #[test]
+    fn rejects_bad_parameters() {
+        assert!(fast_broadcasting(0, 1).is_err());
+        assert!(fast_broadcasting(41, 1).is_err());
+        assert!(fast_broadcasting(3, 0).is_err());
+    }
+}

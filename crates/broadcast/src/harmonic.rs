@@ -1,0 +1,225 @@
+//! Harmonic broadcasting (Juhn–Tseng [25], cited in paper §1) in its exact
+//! fluid model.
+//!
+//! The media is cut into `K` equal segments of `ℓ = L/K` units; channel `i`
+//! (1-based) carries segment `i` at rate `1/i` of the playback rate, cycling
+//! through `i` equal slices of the segment (one slice per `ℓ` of wall time).
+//! Total server bandwidth is the harmonic number `H_K = Σ 1/i` — the least
+//! bandwidth of any static scheme for a given delay, which is why harmonic
+//! is the canonical lower-bound baseline.
+//!
+//! Two variants are modeled:
+//!
+//! * **Delayed (cautious) harmonic** — the client receives all channels from
+//!   its arrival and waits one full segment slot (`ℓ` units, the guaranteed
+//!   delay) before starting playback. [`HarmonicPlan::verify_delayed`]
+//!   proves slice-exactly that every slice arrives by its playback deadline,
+//!   for every channel phase.
+//! * **Undelayed harmonic as originally published** — playback starts as
+//!   soon as the first segment is buffered. This version is *broken* (as
+//!   discovered by Pâris–Carter–Long when designing cautious harmonic
+//!   broadcasting): [`HarmonicPlan::undelayed_violation`] exhibits a
+//!   concrete (channel, phase, slice) witness, which the tests pin down.
+//!
+//! Because channel rates are fractional, these checks use slice-granular
+//! integer arithmetic rather than the whole-segment instance verifier in
+//! [`crate::verify`].
+
+use crate::error::BroadcastError;
+
+/// A harmonic broadcasting plan: `K` equal segments of `segment_len` units.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct HarmonicPlan {
+    /// Number of segments / channels, `K ≥ 1`.
+    pub num_segments: u32,
+    /// Segment length `ℓ` in units — also the guaranteed start-up delay of
+    /// the delayed variant.
+    pub segment_len: u64,
+}
+
+/// The `K`-th harmonic number `H_K = Σ_{i=1..K} 1/i` — the server bandwidth
+/// of harmonic broadcasting, in channels.
+pub fn harmonic_bandwidth(k: u32) -> f64 {
+    (1..=k).map(|i| 1.0 / i as f64).sum()
+}
+
+impl HarmonicPlan {
+    /// Builds the plan for a media of `media_len` units with `num_segments`
+    /// segments; `num_segments` must divide `media_len` exactly.
+    pub fn new(media_len: u64, num_segments: u32) -> Result<Self, BroadcastError> {
+        if media_len == 0 || num_segments == 0 {
+            return Err(BroadcastError::InvalidParameters {
+                reason: "need positive media length and segment count",
+            });
+        }
+        if !media_len.is_multiple_of(num_segments as u64) {
+            return Err(BroadcastError::InvalidParameters {
+                reason: "segment count must divide the media length",
+            });
+        }
+        Ok(Self {
+            num_segments,
+            segment_len: media_len / num_segments as u64,
+        })
+    }
+
+    /// Total media length in units.
+    pub fn media_len(&self) -> u64 {
+        self.segment_len * self.num_segments as u64
+    }
+
+    /// Guaranteed start-up delay of the delayed variant: one segment slot.
+    pub fn delay(&self) -> u64 {
+        self.segment_len
+    }
+
+    /// Server bandwidth `H_K` in channels.
+    pub fn bandwidth(&self) -> f64 {
+        harmonic_bandwidth(self.num_segments)
+    }
+
+    /// Verifies the delayed variant slice-exactly.
+    ///
+    /// Channel `i` delivers one slice (of `i` per segment) every `ℓ` wall
+    /// units; a client tuning in at slice phase `p ∈ 0..i` has slice `s`
+    /// fully received `((s − p) mod i + 1)·ℓ` after arrival, and plays it at
+    /// `(i + s/i)·ℓ` after arrival (one-slot wait + `i−1` earlier segments +
+    /// `s/i` of segment `i`). The check `((s−p) mod i + 1)·i ≤ i² + s` is
+    /// exact in integers and must hold for every `(i, p, s)`.
+    pub fn verify_delayed(&self) -> Result<(), BroadcastError> {
+        for i in 1..=self.num_segments as u64 {
+            for p in 0..i {
+                for s in 0..i {
+                    let rounds = (s + i - p) % i + 1;
+                    if rounds * i > i * i + s {
+                        return Err(BroadcastError::MissedDeadline {
+                            arrival: p,
+                            segment: i as usize,
+                            deadline: i * i + s,
+                        });
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Finds a deadline violation of the *undelayed* (as-published) variant:
+    /// without the one-slot wait the deadline of slice `s` on channel `i`
+    /// tightens to `(i − 1 + s/i)·ℓ` after arrival, and the check becomes
+    /// `((s−p) mod i + 1)·i ≤ (i−1)·i + s`, which fails. Returns the first
+    /// `(channel, phase, slice)` witness, or `None` for plans with a single
+    /// segment (which trivially work).
+    ///
+    /// Channel 1 is exempt: it carries its single slice in playback order at
+    /// the playback rate, so the client can stream it live — the breakage
+    /// Pâris–Carter–Long identified starts at channel 2.
+    pub fn undelayed_violation(&self) -> Option<(u32, u32, u32)> {
+        for i in 2..=self.num_segments as u64 {
+            for p in 0..i {
+                for s in 0..i {
+                    let rounds = (s + i - p) % i + 1;
+                    if rounds * i > (i - 1) * i + s {
+                        return Some((i as u32, p as u32, s as u32));
+                    }
+                }
+            }
+        }
+        None
+    }
+
+    /// Worst-case client buffer of the delayed variant, in units, computed
+    /// on the fluid model at slot granularity: buffered(t) = Σ_i
+    /// (received_i(t) − played_i(t)) evaluated at every slot boundary of the
+    /// longest cycle.
+    pub fn max_buffer(&self) -> f64 {
+        let k = self.num_segments as u64;
+        let l = self.segment_len as f64;
+        // Receiving starts at 0, playback of segment i (1-based) spans
+        // [(i)·ℓ, (i+1)·ℓ) after arrival (one-slot wait). Channel i has
+        // delivered min(ℓ, t/i) by time t.
+        let horizon = (k + 1) * self.segment_len;
+        let mut best = 0.0f64;
+        for t_slot in 0..=horizon {
+            let t = t_slot as f64;
+            let mut buf = 0.0;
+            for i in 1..=k {
+                let recv = (t / i as f64).min(l);
+                let play_start = i as f64 * l;
+                let played = (t - play_start).clamp(0.0, l);
+                buf += recv - played.min(recv);
+            }
+            best = best.max(buf);
+        }
+        best
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bandwidth_is_harmonic_number() {
+        assert!((harmonic_bandwidth(1) - 1.0).abs() < 1e-12);
+        assert!((harmonic_bandwidth(4) - (1.0 + 0.5 + 1.0 / 3.0 + 0.25)).abs() < 1e-12);
+        // H_100 ≈ 5.187…
+        assert!((harmonic_bandwidth(100) - 5.187_377_517_639_621).abs() < 1e-9);
+    }
+
+    #[test]
+    fn delayed_variant_verifies_for_all_sizes() {
+        for k in 1..=64u32 {
+            let plan = HarmonicPlan::new(64 * k as u64, k).unwrap();
+            plan.verify_delayed()
+                .unwrap_or_else(|e| panic!("K={k} should verify: {e}"));
+        }
+    }
+
+    #[test]
+    fn undelayed_variant_is_broken_beyond_one_segment() {
+        let plan = HarmonicPlan::new(100, 1).unwrap();
+        assert_eq!(plan.undelayed_violation(), None);
+        // K = 2 already fails: channel 2 at phase 0 delivers slice 1 only
+        // after two rounds, but playback needs it after 1.5 segment slots.
+        let plan = HarmonicPlan::new(100, 2).unwrap();
+        assert_eq!(plan.undelayed_violation(), Some((2, 0, 1)));
+        for k in 2..=32u32 {
+            let plan = HarmonicPlan::new(32 * k as u64, k).unwrap();
+            assert!(plan.undelayed_violation().is_some(), "K={k}");
+        }
+    }
+
+    #[test]
+    fn delay_and_media_lengths() {
+        let plan = HarmonicPlan::new(120, 10).unwrap();
+        assert_eq!(plan.segment_len, 12);
+        assert_eq!(plan.delay(), 12);
+        assert_eq!(plan.media_len(), 120);
+    }
+
+    #[test]
+    fn bandwidth_beats_whole_channel_schemes() {
+        // Harmonic with K = 15 covers delay L/15 at H_15 ≈ 3.32 channels;
+        // fast broadcasting needs ⌈log₂ 16⌉ = 4 channels for the same delay.
+        let plan = HarmonicPlan::new(15, 15).unwrap();
+        assert!(plan.bandwidth() < 3.4);
+        assert_eq!(crate::fast::channels_for(15, 1), 4);
+    }
+
+    #[test]
+    fn buffer_grows_with_media() {
+        let small = HarmonicPlan::new(40, 4).unwrap().max_buffer();
+        let large = HarmonicPlan::new(400, 4).unwrap().max_buffer();
+        assert!(large > small);
+        // Buffer stays well below the whole media.
+        assert!(large < 400.0);
+    }
+
+    #[test]
+    fn rejects_bad_parameters() {
+        assert!(HarmonicPlan::new(0, 4).is_err());
+        assert!(HarmonicPlan::new(10, 0).is_err());
+        assert!(HarmonicPlan::new(10, 3).is_err()); // 3 ∤ 10
+    }
+}

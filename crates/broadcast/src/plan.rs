@@ -1,0 +1,330 @@
+//! Periodic segment plans — the common shape of every static broadcasting
+//! scheme.
+//!
+//! A plan cuts the media into ordered segments; instance `m` of segment `i`
+//! is broadcast during `[offset_i + m·period_i, offset_i + m·period_i + ℓ_i)`
+//! on a logical channel running at the playback rate. A segment may repeat
+//! faster than its own length (`period < length`), which simply means it
+//! occupies more than one playback-rate channel — that is how staggered
+//! broadcasting (whole media repeated every `D` units) is expressed.
+//!
+//! Server bandwidth is the exact rational `Σ ℓ_i / period_i`, in channels.
+
+use crate::error::BroadcastError;
+
+/// One media segment and its broadcast schedule.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Segment {
+    /// Segment length in units (1 unit = the guaranteed start-up delay of
+    /// the scheme family being compared).
+    pub length: u64,
+    /// Broadcast instances start every `period` units.
+    pub period: u64,
+    /// Phase of the first instance (`offset < period`).
+    pub offset: u64,
+}
+
+impl Segment {
+    /// A segment broadcast back-to-back on one unit-rate channel
+    /// (`period == length`, zero offset) — the shape used by the pyramid
+    /// family of schemes.
+    pub fn back_to_back(length: u64) -> Self {
+        Self {
+            length,
+            period: length,
+            offset: 0,
+        }
+    }
+
+    /// Start of the latest instance beginning at or before `t`, or `None` if
+    /// `t` precedes the very first instance.
+    #[inline]
+    pub fn latest_start_at_or_before(&self, t: u64) -> Option<u64> {
+        if t < self.offset {
+            return None;
+        }
+        Some(self.offset + ((t - self.offset) / self.period) * self.period)
+    }
+
+    /// Start of the earliest instance beginning at or after `t`.
+    #[inline]
+    pub fn earliest_start_at_or_after(&self, t: u64) -> u64 {
+        if t <= self.offset {
+            return self.offset;
+        }
+        self.offset + (t - self.offset).div_ceil(self.period) * self.period
+    }
+}
+
+/// An ordered periodic broadcast plan for one media object.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SegmentPlan {
+    segments: Vec<Segment>,
+    media_len: u64,
+}
+
+/// Greatest common divisor (Euclid).
+pub(crate) fn gcd(a: u64, b: u64) -> u64 {
+    let (mut a, mut b) = (a, b);
+    while b != 0 {
+        let r = a % b;
+        a = b;
+        b = r;
+    }
+    a
+}
+
+/// Least common multiple with overflow checking.
+pub(crate) fn checked_lcm(a: u64, b: u64) -> Option<u64> {
+    if a == 0 || b == 0 {
+        return Some(0);
+    }
+    (a / gcd(a, b)).checked_mul(b)
+}
+
+impl SegmentPlan {
+    /// Builds a plan from segments. Lengths must sum to the media length and
+    /// every segment must have a positive length/period with `offset <
+    /// period`.
+    pub fn new(segments: Vec<Segment>) -> Result<Self, BroadcastError> {
+        if segments.is_empty() {
+            return Err(BroadcastError::EmptyPlan);
+        }
+        let mut media_len = 0u64;
+        for (i, s) in segments.iter().enumerate() {
+            if s.length == 0 {
+                return Err(BroadcastError::ZeroLength { segment: i });
+            }
+            if s.period == 0 {
+                return Err(BroadcastError::ZeroPeriod { segment: i });
+            }
+            if s.offset >= s.period {
+                return Err(BroadcastError::OffsetOutOfRange {
+                    segment: i,
+                    offset: s.offset,
+                    period: s.period,
+                });
+            }
+            media_len += s.length;
+        }
+        Ok(Self {
+            segments,
+            media_len,
+        })
+    }
+
+    /// The segments, in playback order.
+    #[inline]
+    pub fn segments(&self) -> &[Segment] {
+        &self.segments
+    }
+
+    /// Number of segments.
+    #[inline]
+    pub fn num_segments(&self) -> usize {
+        self.segments.len()
+    }
+
+    /// Total media length in units (sum of segment lengths).
+    #[inline]
+    pub fn media_len(&self) -> u64 {
+        self.media_len
+    }
+
+    /// Exact server bandwidth `Σ ℓ_i / period_i` as a reduced fraction
+    /// `(numerator, denominator)`, in channels.
+    pub fn bandwidth_exact(&self) -> (u64, u64) {
+        // Sum of fractions with running reduction to keep values small.
+        let (mut num, mut den) = (0u64, 1u64);
+        for s in &self.segments {
+            let (n2, d2) = (s.length, s.period);
+            let g = gcd(n2, d2);
+            let (n2, d2) = (n2 / g, d2 / g);
+            num = num
+                .checked_mul(d2)
+                .and_then(|a| n2.checked_mul(den).and_then(|b| a.checked_add(b)))
+                .expect("bandwidth arithmetic overflow");
+            den = den.checked_mul(d2).expect("bandwidth arithmetic overflow");
+            let g = gcd(num, den);
+            num /= g;
+            den /= g;
+        }
+        (num, den)
+    }
+
+    /// Server bandwidth in channels, as a float (see
+    /// [`Self::bandwidth_exact`] for the exact rational).
+    pub fn bandwidth(&self) -> f64 {
+        let (n, d) = self.bandwidth_exact();
+        n as f64 / d as f64
+    }
+
+    /// Upper bound on the start-up delay: a client never waits longer than
+    /// one full period of segment 0 for its next instance.
+    #[inline]
+    pub fn delay_bound(&self) -> u64 {
+        self.segments[0].period
+    }
+
+    /// The plan's hyperperiod (lcm of all periods): arrival phases repeat
+    /// with this period, so verifying one hyperperiod verifies all time.
+    /// Fails if the lcm exceeds `limit` (verification would be intractable).
+    pub fn hyperperiod(&self, limit: u64) -> Result<u64, BroadcastError> {
+        let mut l = 1u64;
+        for s in &self.segments {
+            l = checked_lcm(l, s.period)
+                .filter(|&v| v <= limit)
+                .ok_or(BroadcastError::HyperperiodTooLarge { limit })?;
+        }
+        Ok(l)
+    }
+
+    /// Playback deadline offsets: `prefix[i]` is the playback start of
+    /// segment `i` relative to the playback start of segment 0.
+    pub fn prefix_lengths(&self) -> Vec<u64> {
+        let mut out = Vec::with_capacity(self.segments.len());
+        let mut acc = 0u64;
+        for s in &self.segments {
+            out.push(acc);
+            acc += s.length;
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rejects_empty_plan() {
+        assert_eq!(
+            SegmentPlan::new(vec![]).unwrap_err(),
+            BroadcastError::EmptyPlan
+        );
+    }
+
+    #[test]
+    fn rejects_zero_length_and_period() {
+        let bad_len = Segment {
+            length: 0,
+            period: 1,
+            offset: 0,
+        };
+        assert_eq!(
+            SegmentPlan::new(vec![bad_len]).unwrap_err(),
+            BroadcastError::ZeroLength { segment: 0 }
+        );
+        let bad_period = Segment {
+            length: 1,
+            period: 0,
+            offset: 0,
+        };
+        assert_eq!(
+            SegmentPlan::new(vec![bad_period]).unwrap_err(),
+            BroadcastError::ZeroPeriod { segment: 0 }
+        );
+    }
+
+    #[test]
+    fn rejects_offset_at_or_past_period() {
+        let bad = Segment {
+            length: 2,
+            period: 2,
+            offset: 2,
+        };
+        assert_eq!(
+            SegmentPlan::new(vec![Segment::back_to_back(1), bad]).unwrap_err(),
+            BroadcastError::OffsetOutOfRange {
+                segment: 1,
+                offset: 2,
+                period: 2,
+            }
+        );
+    }
+
+    #[test]
+    fn media_len_is_sum_of_lengths() {
+        let plan = SegmentPlan::new(vec![
+            Segment::back_to_back(1),
+            Segment::back_to_back(2),
+            Segment::back_to_back(4),
+        ])
+        .unwrap();
+        assert_eq!(plan.media_len(), 7);
+        assert_eq!(plan.prefix_lengths(), vec![0, 1, 3]);
+    }
+
+    #[test]
+    fn bandwidth_of_back_to_back_segments_is_channel_count() {
+        let plan = SegmentPlan::new(vec![
+            Segment::back_to_back(1),
+            Segment::back_to_back(2),
+            Segment::back_to_back(4),
+        ])
+        .unwrap();
+        assert_eq!(plan.bandwidth_exact(), (3, 1));
+    }
+
+    #[test]
+    fn bandwidth_handles_fast_repeats() {
+        // Whole media of 12 units repeated every 3 units = 4 channels.
+        let plan = SegmentPlan::new(vec![Segment {
+            length: 12,
+            period: 3,
+            offset: 0,
+        }])
+        .unwrap();
+        assert_eq!(plan.bandwidth_exact(), (4, 1));
+        // Non-integer: 10 units every 4 = 5/2 channels.
+        let plan = SegmentPlan::new(vec![Segment {
+            length: 10,
+            period: 4,
+            offset: 0,
+        }])
+        .unwrap();
+        assert_eq!(plan.bandwidth_exact(), (5, 2));
+    }
+
+    #[test]
+    fn hyperperiod_is_lcm_of_periods() {
+        let plan = SegmentPlan::new(vec![
+            Segment::back_to_back(2),
+            Segment::back_to_back(5),
+            Segment::back_to_back(12),
+        ])
+        .unwrap();
+        assert_eq!(plan.hyperperiod(1_000_000).unwrap(), 60);
+        assert_eq!(
+            plan.hyperperiod(59).unwrap_err(),
+            BroadcastError::HyperperiodTooLarge { limit: 59 }
+        );
+    }
+
+    #[test]
+    fn instance_start_queries() {
+        let s = Segment {
+            length: 3,
+            period: 5,
+            offset: 2,
+        };
+        // Instances start at 2, 7, 12, …
+        assert_eq!(s.latest_start_at_or_before(1), None);
+        assert_eq!(s.latest_start_at_or_before(2), Some(2));
+        assert_eq!(s.latest_start_at_or_before(6), Some(2));
+        assert_eq!(s.latest_start_at_or_before(7), Some(7));
+        assert_eq!(s.earliest_start_at_or_after(0), 2);
+        assert_eq!(s.earliest_start_at_or_after(2), 2);
+        assert_eq!(s.earliest_start_at_or_after(3), 7);
+        assert_eq!(s.earliest_start_at_or_after(7), 7);
+        assert_eq!(s.earliest_start_at_or_after(8), 12);
+    }
+
+    #[test]
+    fn gcd_lcm_basics() {
+        assert_eq!(gcd(12, 18), 6);
+        assert_eq!(gcd(7, 1), 1);
+        assert_eq!(checked_lcm(4, 6), Some(12));
+        assert_eq!(checked_lcm(u64::MAX, 2), None);
+    }
+}

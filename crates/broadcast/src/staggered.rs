@@ -1,0 +1,72 @@
+//! Staggered broadcasting — the classical batching baseline in broadcast
+//! form (paper §1).
+//!
+//! The whole media is broadcast repeatedly, with a new start every `delay`
+//! units. A client waits for the next start (at most `delay`), then receives
+//! a single stream with no buffering at all. Server bandwidth is
+//! `⌈L / delay⌉`-ish — exactly `L/delay` channels as a rational — which is
+//! the `n·L` batching cost of Theorem 14 expressed per unit time. Stream
+//! merging beats this by `Θ(L / log L)` (Theorem 14), which the
+//! `sm-experiments` `broadcast` binary demonstrates side by side.
+
+use crate::error::BroadcastError;
+use crate::plan::{Segment, SegmentPlan};
+
+/// Builds the staggered plan for a media of `media_len` units with a new
+/// full stream every `delay` units.
+///
+/// Bandwidth is exactly `media_len / delay` channels; start-up delay is at
+/// most `delay`; clients receive one channel and need no buffer.
+pub fn staggered_broadcasting(
+    media_len: u64,
+    delay: u64,
+) -> Result<SegmentPlan, BroadcastError> {
+    if media_len == 0 {
+        return Err(BroadcastError::InvalidParameters {
+            reason: "media length must be positive",
+        });
+    }
+    if delay == 0 || delay > media_len {
+        return Err(BroadcastError::InvalidParameters {
+            reason: "delay must lie in 1..=media_len",
+        });
+    }
+    SegmentPlan::new(vec![Segment {
+        length: media_len,
+        period: delay,
+        offset: 0,
+    }])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::verify::verify_all_phases;
+
+    #[test]
+    fn bandwidth_is_media_over_delay() {
+        let plan = staggered_broadcasting(120, 6).unwrap();
+        assert_eq!(plan.bandwidth_exact(), (20, 1));
+        let plan = staggered_broadcasting(120, 7).unwrap();
+        assert_eq!(plan.bandwidth_exact(), (120, 7));
+    }
+
+    #[test]
+    fn verifies_with_receive_one_and_zero_buffer() {
+        for delay in [1u64, 2, 3, 5, 8, 15, 30] {
+            let plan = staggered_broadcasting(30, delay).unwrap();
+            let report = verify_all_phases(&plan, Some(1), 10_000).unwrap();
+            assert_eq!(report.max_concurrent, 1, "delay {delay}");
+            assert_eq!(report.max_buffer, 0, "delay {delay}");
+            assert_eq!(report.worst_delay, delay - 1, "delay {delay}");
+        }
+    }
+
+    #[test]
+    fn rejects_bad_parameters() {
+        assert!(staggered_broadcasting(0, 1).is_err());
+        assert!(staggered_broadcasting(10, 0).is_err());
+        assert!(staggered_broadcasting(10, 11).is_err());
+        assert!(staggered_broadcasting(10, 10).is_ok());
+    }
+}

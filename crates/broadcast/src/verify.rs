@@ -1,0 +1,481 @@
+//! Slot-exact verification of periodic broadcast plans.
+//!
+//! For a client arriving at time `a`:
+//!
+//! 1. playback starts at `s₀`, the next broadcast instance of segment 0 at
+//!    or after `a` — the start-up delay is `s₀ − a`;
+//! 2. playback of segment `i` begins at the deadline `d_i = s₀ + Σ_{j<i} ℓ_j`;
+//! 3. the client receives segment `i` from the **latest** instance starting
+//!    at or before `d_i`. Channels run at the playback rate, so an instance
+//!    starting at `t ≤ d_i` delivers every byte of the segment no later than
+//!    playback consumes it. If that instance started before `a`, no feasible
+//!    reception exists and the plan is infeasible for this arrival phase.
+//!
+//! Latest-fit reception is the canonical client program of the pyramid
+//! family: it minimizes the client buffer among all feasible programs
+//! (receiving earlier only holds data longer) and reproduces the published
+//! receiving rules of skyscraper and fast broadcasting.
+//!
+//! Because all instance grids are integral, a client arriving at non-integer
+//! time `a ∈ (k, k+1)` sees exactly the instance choices of a client arriving
+//! at `k+1`; verifying every integer phase of one hyperperiod therefore
+//! verifies every real arrival time, and the worst-case *continuous*
+//! start-up delay is strictly less than `worst_delay + 1 ≤` segment 0's
+//! period.
+
+use crate::error::BroadcastError;
+use crate::plan::SegmentPlan;
+
+/// The verified schedule of one client.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ClientOutcome {
+    /// Arrival (tune-in) time.
+    pub arrival: u64,
+    /// Playback start `s₀` (the next segment-0 instance).
+    pub playback_start: u64,
+    /// Start-up delay `s₀ − arrival`.
+    pub delay: u64,
+    /// Per segment, the reception window `[start, end)`.
+    pub receive_windows: Vec<(u64, u64)>,
+    /// Maximum number of simultaneously received channels.
+    pub max_concurrent: usize,
+    /// Maximum buffered data, in units (received but not yet played).
+    pub max_buffer: u64,
+}
+
+/// Aggregate report over every arrival phase of one hyperperiod.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PlanReport {
+    /// The hyperperiod that was swept.
+    pub hyperperiod: u64,
+    /// Worst start-up delay over integer arrival phases. The supremum over
+    /// continuous arrivals is `< worst_delay + 1`.
+    pub worst_delay: u64,
+    /// Worst-case number of simultaneously received channels (the paper's
+    /// receive-two model corresponds to a cap of 2).
+    pub max_concurrent: usize,
+    /// Worst-case client buffer, in units.
+    pub max_buffer: u64,
+    /// Exact server bandwidth in channels, as a reduced fraction.
+    pub bandwidth: (u64, u64),
+}
+
+/// Computes the latest-fit reception schedule for a client arriving at
+/// `arrival`, without enforcing any receive cap.
+pub fn client_schedule(
+    plan: &SegmentPlan,
+    arrival: u64,
+) -> Result<ClientOutcome, BroadcastError> {
+    let segments = plan.segments();
+    let playback_start = segments[0].earliest_start_at_or_after(arrival);
+    let prefix = plan.prefix_lengths();
+
+    let mut windows = Vec::with_capacity(segments.len());
+    for (i, seg) in segments.iter().enumerate() {
+        let deadline = playback_start + prefix[i];
+        let start = seg
+            .latest_start_at_or_before(deadline)
+            .filter(|&t| t >= arrival)
+            .ok_or(BroadcastError::MissedDeadline {
+                arrival,
+                segment: i,
+                deadline,
+            })?;
+        windows.push((start, start + seg.length));
+    }
+
+    let max_concurrent = max_overlap(&windows);
+    let max_buffer = max_buffer(&windows, &prefix, playback_start, segments);
+
+    Ok(ClientOutcome {
+        arrival,
+        playback_start,
+        delay: playback_start - arrival,
+        receive_windows: windows,
+        max_concurrent,
+        max_buffer,
+    })
+}
+
+/// Maximum number of windows covering any instant (half-open intervals).
+fn max_overlap(windows: &[(u64, u64)]) -> usize {
+    let mut events: Vec<(u64, i32)> = Vec::with_capacity(windows.len() * 2);
+    for &(s, e) in windows {
+        events.push((s, 1));
+        events.push((e, -1));
+    }
+    // Ends sort before starts at the same instant: [a,b) and [b,c) do not
+    // overlap.
+    events.sort_by_key(|&(t, d)| (t, d));
+    let (mut cur, mut best) = (0i32, 0i32);
+    for (_, d) in events {
+        cur += d;
+        best = best.max(cur);
+    }
+    best as usize
+}
+
+/// Maximum buffered data over time. `buffer(t) = Σ_i recv_i(t) − played_i(t)`
+/// is piecewise linear with breakpoints at window/playback edges, so the
+/// maximum is attained at a breakpoint.
+fn max_buffer(
+    windows: &[(u64, u64)],
+    prefix: &[u64],
+    playback_start: u64,
+    segments: &[crate::plan::Segment],
+) -> u64 {
+    let mut breakpoints: Vec<u64> = Vec::with_capacity(windows.len() * 4);
+    for (i, &(ws, we)) in windows.iter().enumerate() {
+        let d = playback_start + prefix[i];
+        breakpoints.extend([ws, we, d, d + segments[i].length]);
+    }
+    breakpoints.sort_unstable();
+    breakpoints.dedup();
+
+    let mut best = 0u64;
+    for &t in &breakpoints {
+        let mut buf = 0u64;
+        for (i, &(ws, _)) in windows.iter().enumerate() {
+            let len = segments[i].length;
+            let recv = t.saturating_sub(ws).min(len);
+            let d = playback_start + prefix[i];
+            let played = t.saturating_sub(d).min(len);
+            buf += recv - played; // recv ≥ played because ws ≤ d
+        }
+        best = best.max(buf);
+    }
+    best
+}
+
+/// Exact *analytic* deadline feasibility for every arrival phase — including
+/// plans whose hyperperiod is astronomically large.
+///
+/// The binding case is a client arriving exactly at a segment-0 instance
+/// (`a = s₀`): segment `i` is feasible iff some instance starts inside
+/// `[s₀, s₀ + prefix_i]`. Instance starts of segment `i` lie on
+/// `offset_i + period_i·ℤ` and `s₀` ranges over `offset_0 + period_0·ℤ`, so
+/// `(s₀ + prefix_i − offset_i) mod period_i` ranges over the residues
+/// congruent to `(offset_0 + prefix_i − offset_i) mod g` modulo
+/// `g = gcd(period_0, period_i)`. The worst such residue is
+/// `period_i − g + ((offset_0 + prefix_i − offset_i) mod g)`, and the plan
+/// is feasible iff that worst residue is at most `prefix_i`, for every
+/// segment. This is exact (the sweep-based [`verify_all_phases`] agrees
+/// wherever it is tractable — a property the integration tests check) and
+/// costs `O(K)`.
+pub fn check_deadlines(plan: &SegmentPlan) -> Result<(), BroadcastError> {
+    let segments = plan.segments();
+    let prefix = plan.prefix_lengths();
+    let p0 = segments[0].period;
+    let off0 = segments[0].offset;
+    for (i, seg) in segments.iter().enumerate().skip(1) {
+        let g = crate::plan::gcd(p0, seg.period);
+        // (offset_0 + prefix_i − offset_i) mod g, computed without underflow.
+        let shift = (off0 + prefix[i] + seg.period - (seg.offset % seg.period)) % g;
+        let worst_residue = seg.period - g + shift;
+        if worst_residue > prefix[i] {
+            return Err(BroadcastError::MissedDeadline {
+                arrival: 0,
+                segment: i,
+                deadline: prefix[i],
+            });
+        }
+    }
+    Ok(())
+}
+
+/// Verifies a plan for **every** integer arrival phase in one hyperperiod,
+/// optionally enforcing a receive cap (2 = the paper's receive-two model).
+///
+/// `limit` bounds the hyperperiod the sweep will attempt (use e.g. `10_000`
+/// for the schemes in this crate; they all stay far below). For plans with
+/// intractable hyperperiods use [`check_deadlines`] (exact feasibility) or
+/// [`verify_sampled`] (exact feasibility + metrics over a sampled prefix).
+pub fn verify_all_phases(
+    plan: &SegmentPlan,
+    cap: Option<usize>,
+    limit: u64,
+) -> Result<PlanReport, BroadcastError> {
+    let hyperperiod = plan.hyperperiod(limit)?;
+    let mut worst_delay = 0u64;
+    let mut max_concurrent = 0usize;
+    let mut max_buf = 0u64;
+    for arrival in 0..hyperperiod {
+        let outcome = client_schedule(plan, arrival)?;
+        if let Some(cap) = cap {
+            if outcome.max_concurrent > cap {
+                // Locate an instant where the cap is exceeded, for the report.
+                let time = outcome
+                    .receive_windows
+                    .iter()
+                    .map(|&(s, _)| s)
+                    .max()
+                    .unwrap_or(arrival);
+                return Err(BroadcastError::ExceedsReceiveCap {
+                    arrival,
+                    time,
+                    concurrent: outcome.max_concurrent,
+                    cap,
+                });
+            }
+        }
+        worst_delay = worst_delay.max(outcome.delay);
+        max_concurrent = max_concurrent.max(outcome.max_concurrent);
+        max_buf = max_buf.max(outcome.max_buffer);
+    }
+    Ok(PlanReport {
+        hyperperiod,
+        worst_delay,
+        max_concurrent,
+        max_buffer: max_buf,
+        bandwidth: plan.bandwidth_exact(),
+    })
+}
+
+/// Like [`verify_all_phases`], but usable on plans with intractable
+/// hyperperiods: feasibility is established exactly by [`check_deadlines`],
+/// and the delay/concurrency/buffer metrics are measured over the first
+/// `sample` arrival phases (the worst *delay* is still exact whenever
+/// `sample ≥ period_0`, since the delay cycle has period `period_0`).
+pub fn verify_sampled(
+    plan: &SegmentPlan,
+    cap: Option<usize>,
+    sample: u64,
+) -> Result<PlanReport, BroadcastError> {
+    check_deadlines(plan)?;
+    let hyperperiod = plan
+        .hyperperiod(u64::MAX)
+        .unwrap_or(u64::MAX)
+        .min(sample.max(plan.delay_bound()));
+    let mut worst_delay = 0u64;
+    let mut max_concurrent = 0usize;
+    let mut max_buf = 0u64;
+    for arrival in 0..hyperperiod {
+        let outcome = client_schedule(plan, arrival)?;
+        if let Some(cap) = cap {
+            if outcome.max_concurrent > cap {
+                return Err(BroadcastError::ExceedsReceiveCap {
+                    arrival,
+                    time: outcome.playback_start,
+                    concurrent: outcome.max_concurrent,
+                    cap,
+                });
+            }
+        }
+        worst_delay = worst_delay.max(outcome.delay);
+        max_concurrent = max_concurrent.max(outcome.max_concurrent);
+        max_buf = max_buf.max(outcome.max_buffer);
+    }
+    Ok(PlanReport {
+        hyperperiod,
+        worst_delay,
+        max_concurrent,
+        max_buffer: max_buf,
+        bandwidth: plan.bandwidth_exact(),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::plan::Segment;
+
+    /// Fast-broadcasting shape: segments 1, 2, 4 back-to-back.
+    fn fast3() -> SegmentPlan {
+        SegmentPlan::new(vec![
+            Segment::back_to_back(1),
+            Segment::back_to_back(2),
+            Segment::back_to_back(4),
+        ])
+        .unwrap()
+    }
+
+    #[test]
+    fn client_at_instance_start_has_zero_delay() {
+        let plan = fast3();
+        let c = client_schedule(&plan, 0).unwrap();
+        assert_eq!(c.delay, 0);
+        assert_eq!(c.playback_start, 0);
+    }
+
+    #[test]
+    fn delay_is_time_to_next_segment0_instance() {
+        let plan = SegmentPlan::new(vec![
+            Segment::back_to_back(3),
+            Segment::back_to_back(6),
+        ])
+        .unwrap();
+        let c = client_schedule(&plan, 1).unwrap();
+        assert_eq!(c.playback_start, 3);
+        assert_eq!(c.delay, 2);
+    }
+
+    #[test]
+    fn latest_fit_windows_meet_deadlines() {
+        let plan = fast3();
+        for a in 0..plan.hyperperiod(1000).unwrap() {
+            let c = client_schedule(&plan, a).unwrap();
+            let prefix = plan.prefix_lengths();
+            for (i, &(ws, we)) in c.receive_windows.iter().enumerate() {
+                let deadline = c.playback_start + prefix[i];
+                assert!(ws >= a, "window starts before arrival");
+                assert!(ws <= deadline, "window starts after playback deadline");
+                assert_eq!(we - ws, plan.segments()[i].length);
+            }
+        }
+    }
+
+    #[test]
+    fn fast3_verifies_with_receive_all() {
+        let report = verify_all_phases(&fast3(), None, 1000).unwrap();
+        assert_eq!(report.hyperperiod, 4);
+        // Worst integer-phase delay for a period-1 first segment is 0.
+        assert_eq!(report.worst_delay, 0);
+        assert_eq!(report.bandwidth, (3, 1));
+        assert!(report.max_concurrent <= 3);
+    }
+
+    #[test]
+    fn infeasible_plan_is_rejected() {
+        // Second segment is far too long for its position: its only on-time
+        // instance starts before the client arrives at phase 1.
+        let plan = SegmentPlan::new(vec![
+            Segment::back_to_back(1),
+            Segment::back_to_back(10),
+        ])
+        .unwrap();
+        // At arrival 1: s0 = 1, deadline for segment 1 is 2; latest instance
+        // of period 10 at/before 2 starts at 0 < arrival.
+        let err = client_schedule(&plan, 1).unwrap_err();
+        assert_eq!(
+            err,
+            BroadcastError::MissedDeadline {
+                arrival: 1,
+                segment: 1,
+                deadline: 2,
+            }
+        );
+    }
+
+    #[test]
+    fn receive_cap_is_enforced() {
+        let plan = fast3();
+        // Receive-all needs up to 3 channels; cap 2 must fail somewhere.
+        let err = verify_all_phases(&plan, Some(2), 1000).unwrap_err();
+        match err {
+            BroadcastError::ExceedsReceiveCap { cap: 2, .. } => {}
+            other => panic!("expected cap violation, got {other:?}"),
+        }
+        // Receive-all (cap = #segments) always passes.
+        verify_all_phases(&plan, Some(3), 1000).unwrap();
+    }
+
+    #[test]
+    fn overlap_counts_half_open_intervals() {
+        assert_eq!(max_overlap(&[(0, 2), (2, 4)]), 1);
+        assert_eq!(max_overlap(&[(0, 3), (1, 2), (1, 4)]), 3);
+        assert_eq!(max_overlap(&[]), 0);
+    }
+
+    #[test]
+    fn buffer_is_zero_for_pure_streaming() {
+        // One segment received exactly as played: no buffering.
+        let plan = SegmentPlan::new(vec![Segment::back_to_back(5)]).unwrap();
+        let c = client_schedule(&plan, 0).unwrap();
+        assert_eq!(c.max_buffer, 0);
+    }
+
+    #[test]
+    fn buffer_accounts_for_early_reception() {
+        // Segment 1 (length 2, period 2): a client with playback_start = 0
+        // has deadline 1 for segment 1, latest instance at 0 — it receives
+        // units of segment 1 a full unit ahead of playback.
+        let plan = SegmentPlan::new(vec![
+            Segment::back_to_back(1),
+            Segment::back_to_back(2),
+        ])
+        .unwrap();
+        let c = client_schedule(&plan, 0).unwrap();
+        assert_eq!(c.receive_windows[1], (0, 2));
+        assert!(c.max_buffer >= 1);
+    }
+
+    #[test]
+    fn analytic_check_agrees_with_sweep() {
+        // Over many small plans, `check_deadlines` and the exhaustive sweep
+        // must agree exactly on feasibility.
+        let mut agree = 0;
+        for a in 1..=6u64 {
+            for b in 1..=8u64 {
+                for c in 1..=10u64 {
+                    let plan = SegmentPlan::new(vec![
+                        Segment::back_to_back(a),
+                        Segment::back_to_back(b),
+                        Segment::back_to_back(c),
+                    ])
+                    .unwrap();
+                    let analytic = check_deadlines(&plan).is_ok();
+                    let swept = verify_all_phases(&plan, None, 1_000_000).is_ok();
+                    assert_eq!(analytic, swept, "lengths ({a},{b},{c})");
+                    agree += 1;
+                }
+            }
+        }
+        assert_eq!(agree, 6 * 8 * 10);
+    }
+
+    #[test]
+    fn analytic_check_handles_offsets() {
+        // Offset grids shift the worst residue; compare against the sweep.
+        for off in 0..4u64 {
+            let plan = SegmentPlan::new(vec![
+                Segment::back_to_back(2),
+                Segment {
+                    length: 5,
+                    period: 5,
+                    offset: off.min(4),
+                },
+            ])
+            .unwrap();
+            let analytic = check_deadlines(&plan).is_ok();
+            let swept = verify_all_phases(&plan, None, 1_000_000).is_ok();
+            assert_eq!(analytic, swept, "offset {off}");
+        }
+    }
+
+    #[test]
+    fn sampled_verification_matches_full_sweep_on_tractable_plans() {
+        let plan = fast3();
+        let full = verify_all_phases(&plan, None, 1_000_000).unwrap();
+        let sampled = verify_sampled(&plan, None, 1_000).unwrap();
+        assert_eq!(full.worst_delay, sampled.worst_delay);
+        assert_eq!(full.max_concurrent, sampled.max_concurrent);
+        assert_eq!(full.max_buffer, sampled.max_buffer);
+    }
+
+    #[test]
+    fn sampled_verification_rejects_infeasible_plans_analytically() {
+        let plan = SegmentPlan::new(vec![
+            Segment::back_to_back(1),
+            Segment::back_to_back(10),
+        ])
+        .unwrap();
+        assert!(verify_sampled(&plan, None, 100).is_err());
+    }
+
+    #[test]
+    fn staggered_shape_single_window() {
+        // Whole media of 12 repeated every 3 units (staggered, 4 channels):
+        // every client receives exactly one instance, buffer 0.
+        let plan = SegmentPlan::new(vec![Segment {
+            length: 12,
+            period: 3,
+            offset: 0,
+        }])
+        .unwrap();
+        let report = verify_all_phases(&plan, Some(1), 1000).unwrap();
+        assert_eq!(report.max_concurrent, 1);
+        assert_eq!(report.max_buffer, 0);
+        assert_eq!(report.worst_delay, 2);
+        assert_eq!(report.bandwidth, (4, 1));
+    }
+}

@@ -1,0 +1,119 @@
+//! Property-based tests for the static broadcasting substrate.
+//!
+//! Invariants exercised:
+//! * the analytic deadline check agrees exactly with the exhaustive sweep
+//!   wherever the sweep is tractable;
+//! * every feasible plan honors its delay bound and its windows meet every
+//!   deadline at every phase;
+//! * the published schemes are feasible by construction across their whole
+//!   parameter ranges (skyscraper under receive-two, fast under receive-all,
+//!   staggered under receive-one, delayed harmonic always).
+
+use proptest::prelude::*;
+use sm_broadcast::plan::{Segment, SegmentPlan};
+use sm_broadcast::verify::{check_deadlines, client_schedule, verify_all_phases};
+use sm_broadcast::{
+    fast_broadcasting, skyscraper_broadcasting, staggered_broadcasting, HarmonicPlan,
+};
+
+proptest! {
+    /// The O(K) analytic feasibility decision equals the exhaustive sweep.
+    #[test]
+    fn analytic_check_equals_sweep(
+        lens in proptest::collection::vec(1u64..=12, 2..=5)
+    ) {
+        let plan = SegmentPlan::new(
+            lens.iter().map(|&l| Segment::back_to_back(l)).collect()
+        ).unwrap();
+        // Back-to-back lengths ≤ 12 keep the lcm ≤ 12! >> bounded by 27720.
+        let swept = verify_all_phases(&plan, None, 10_000_000).is_ok();
+        let analytic = check_deadlines(&plan).is_ok();
+        prop_assert_eq!(analytic, swept, "lengths {:?}", lens);
+    }
+
+    /// Feasible plans: every phase meets every deadline with latest-fit
+    /// windows, and the delay never exceeds segment 0's period.
+    #[test]
+    fn feasible_plans_meet_deadlines_everywhere(
+        lens in proptest::collection::vec(1u64..=10, 2..=5)
+    ) {
+        let plan = SegmentPlan::new(
+            lens.iter().map(|&l| Segment::back_to_back(l)).collect()
+        ).unwrap();
+        if check_deadlines(&plan).is_err() {
+            return Ok(()); // infeasible geometry: nothing to check
+        }
+        let h = plan.hyperperiod(10_000_000).unwrap();
+        let prefix = plan.prefix_lengths();
+        for a in 0..h {
+            let c = client_schedule(&plan, a).unwrap();
+            prop_assert!(c.delay < plan.segments()[0].period + 1);
+            for (i, &(ws, _)) in c.receive_windows.iter().enumerate() {
+                prop_assert!(ws >= a);
+                prop_assert!(ws <= c.playback_start + prefix[i]);
+            }
+        }
+    }
+
+    /// Skyscraper is receive-two feasible for any geometry and width cap.
+    #[test]
+    fn skyscraper_is_receive_two(
+        media in 1u64..=200,
+        delay in 1u64..=4,
+        w in 1u64..=60,
+    ) {
+        prop_assume!(delay <= media);
+        let plan = skyscraper_broadcasting(media, delay, w).unwrap();
+        let report = verify_all_phases(&plan, Some(2), 10_000_000).unwrap();
+        prop_assert!(report.worst_delay < delay);
+        prop_assert!(report.max_concurrent <= 2);
+    }
+
+    /// Fast broadcasting is feasible (receive-all) for any channel count.
+    #[test]
+    fn fast_broadcasting_always_feasible(k in 1u32..=8, delay in 1u64..=5) {
+        let plan = fast_broadcasting(k, delay).unwrap();
+        let report = verify_all_phases(&plan, Some(k as usize), 10_000_000).unwrap();
+        prop_assert!(report.worst_delay < delay);
+        prop_assert_eq!(report.bandwidth, (k as u64, 1));
+    }
+
+    /// Staggered broadcasting: one channel at a time, zero client buffer,
+    /// delay exactly the stagger period.
+    #[test]
+    fn staggered_is_receive_one_zero_buffer(
+        media in 1u64..=100,
+        delay in 1u64..=20,
+    ) {
+        prop_assume!(delay <= media);
+        let plan = staggered_broadcasting(media, delay).unwrap();
+        let report = verify_all_phases(&plan, Some(1), 10_000_000).unwrap();
+        prop_assert_eq!(report.max_concurrent, 1);
+        prop_assert_eq!(report.max_buffer, 0);
+        prop_assert_eq!(report.worst_delay, delay - 1);
+    }
+
+    /// Delayed harmonic verifies for every segment count; the undelayed
+    /// variant always has a violation beyond one segment.
+    #[test]
+    fn harmonic_delayed_works_undelayed_broken(k in 2u32..=40) {
+        let plan = HarmonicPlan::new(k as u64 * 7, k).unwrap();
+        prop_assert!(plan.verify_delayed().is_ok());
+        prop_assert!(plan.undelayed_violation().is_some());
+    }
+
+    /// Bandwidth is invariant under the latest-fit client behaviour — it is
+    /// a property of the plan alone, and the exact rational equals the sum
+    /// of length/period up to float rounding.
+    #[test]
+    fn bandwidth_exact_matches_float_sum(
+        lens in proptest::collection::vec(1u64..=30, 1..=6)
+    ) {
+        let plan = SegmentPlan::new(
+            lens.iter().map(|&l| Segment::back_to_back(l)).collect()
+        ).unwrap();
+        let (n, d) = plan.bandwidth_exact();
+        prop_assert_eq!(n, d * lens.len() as u64); // back-to-back: K channels
+        prop_assert!((plan.bandwidth() - lens.len() as f64).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,290 @@
+//! Receiving programs for the **receive-all** model (§3.4).
+//!
+//! When a client may listen to every stream on its root path at once, the
+//! staged receive-two rules collapse: a client arriving at `x_k` with path
+//! `x_0 < … < x_k` tunes to all `k+1` streams at its arrival and takes from
+//! stream `x_i` exactly the parts (Lemma 17's proof)
+//!
+//! ```text
+//! own stream x_k : [1, x_k − x_{k−1}]
+//! inner x_i      : [1 + (x_k − x_i), x_k − x_{i−1}]
+//! root x_0       : [1 + (x_k − x_0), L]
+//! ```
+//!
+//! Consecutive ranges are contiguous, every part arrives live (stream `x_i`
+//! broadcasts part `q` during `[x_i + q − 1, x_i + q)`, which is at or after
+//! the client's arrival for every part it takes), and the last part needed
+//! from `x_i` is `x_k − x_{i−1} ≤ z(x_i) − p(x_i) = ω(x_i)` — the Lemma 17
+//! stream length, which [`crate::cost::receive_all_lengths`] computes. The
+//! [`ReceiveAllProgram::verify`] method re-derives all of this per client,
+//! giving the receive-all model the same program-level oracle the
+//! receive-two model has in [`crate::receiving`].
+
+use crate::cost;
+use crate::error::ModelError;
+use crate::receiving::StageSegment;
+use crate::tree::MergeTree;
+
+/// The complete receive-all program of one client.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ReceiveAllProgram {
+    /// Local index of the client's own arrival.
+    pub client: usize,
+    /// Root path `x_0 < … < x_k` (local indices).
+    pub path: Vec<usize>,
+    /// Segments in part order (own stream first, root last). Possibly-empty
+    /// segments are retained so `segments.len() == path.len()`.
+    pub segments: Vec<StageSegment>,
+}
+
+impl ReceiveAllProgram {
+    /// Builds the receive-all program of local arrival `client`.
+    ///
+    /// # Panics
+    /// Panics if `times.len() != tree.len()` or `client` is out of range.
+    pub fn build(tree: &MergeTree, times: &[i64], media_len: u64, client: usize) -> Self {
+        assert_eq!(times.len(), tree.len());
+        let path = tree.path_from_root(client);
+        let k = path.len() - 1;
+        let tk = times[path[k]];
+        let media = media_len as i64;
+        let mut segments = Vec::with_capacity(path.len());
+        for j in (0..=k).rev() {
+            let tj = times[path[j]];
+            let first = if j == k { 1 } else { 1 + (tk - tj) };
+            let last = if j == 0 {
+                media
+            } else {
+                tk - times[path[j - 1]]
+            };
+            segments.push(StageSegment {
+                stream: path[j],
+                first_part: first,
+                last_part: last,
+            });
+        }
+        Self {
+            client,
+            path,
+            segments,
+        }
+    }
+
+    /// Total number of parts the program delivers.
+    pub fn total_parts(&self) -> i64 {
+        self.segments.iter().map(StageSegment::len).sum()
+    }
+
+    /// Number of streams received simultaneously at the client's arrival —
+    /// the whole path in the receive-all model (the quantity the
+    /// receive-two model caps at 2).
+    pub fn max_concurrent(&self) -> usize {
+        self.segments.iter().filter(|s| !s.is_empty()).count()
+    }
+
+    /// Maximum buffered parts: everything is received during
+    /// `[x_k, x_k + (x_k − x_{i−1}) − (x_k − x_i))`… computed exactly by
+    /// sweeping the per-slot received/played balance.
+    pub fn required_buffer(&self, times: &[i64], media_len: u64) -> i64 {
+        let tk = times[self.client];
+        let media = media_len as i64;
+        // Breakpoints: arrival + every segment end + playback end.
+        let mut best = 0i64;
+        let mut points: Vec<i64> = Vec::with_capacity(self.segments.len() * 2 + 2);
+        for seg in &self.segments {
+            if seg.is_empty() {
+                continue;
+            }
+            points.push(times[seg.stream] + seg.first_part - 1);
+            points.push(times[seg.stream] + seg.last_part);
+        }
+        points.push(tk);
+        points.push(tk + media);
+        points.sort_unstable();
+        points.dedup();
+        for &t in &points {
+            let mut received = 0i64;
+            for seg in &self.segments {
+                if seg.is_empty() {
+                    continue;
+                }
+                let start = times[seg.stream] + seg.first_part - 1;
+                received += (t - start).clamp(0, seg.len());
+            }
+            let played = (t - tk).clamp(0, media);
+            best = best.max(received - played);
+        }
+        best
+    }
+
+    /// Verifies the program: contiguous coverage of `1..=L`, every part
+    /// within the media, every part broadcast at or after the client's
+    /// arrival (live reception) and no later than its playback slot, and
+    /// every source stream long enough (Lemma 17 lengths).
+    pub fn verify(&self, times: &[i64], media_len: u64, tree: &MergeTree) -> Result<(), ModelError> {
+        let media = media_len as i64;
+        let tk = times[self.client];
+        let omega = cost::receive_all_lengths(tree, times);
+        let mut expected = 1i64;
+        for seg in &self.segments {
+            if seg.is_empty() {
+                continue;
+            }
+            if seg.first_part < 1 || seg.last_part > media {
+                return Err(ModelError::PartOutOfRange {
+                    part: seg.first_part.min(seg.last_part),
+                });
+            }
+            if seg.first_part != expected {
+                return Err(ModelError::CoverageGap {
+                    expected_part: expected,
+                    found_part: seg.first_part,
+                });
+            }
+            // Live reception: the first part taken from this stream must be
+            // on air no earlier than the client's arrival...
+            let first_slot = times[seg.stream] + seg.first_part - 1;
+            if first_slot < tk {
+                return Err(ModelError::CoverageGap {
+                    expected_part: seg.first_part,
+                    found_part: first_slot - times[seg.stream] + 1,
+                });
+            }
+            // ...and every part must arrive by its playback slot.
+            for part in [seg.first_part, seg.last_part] {
+                let receive = times[seg.stream] + part - 1;
+                let playback = tk + part - 1;
+                if receive > playback {
+                    return Err(ModelError::PartOutOfRange { part });
+                }
+            }
+            // The source stream must broadcast long enough (ω-length), except
+            // the root which carries the whole media.
+            if seg.stream != self.path[0] && seg.last_part > omega[seg.stream] {
+                return Err(ModelError::LengthExceedsMedia { node: seg.stream });
+            }
+            expected = seg.last_part + 1;
+        }
+        if expected != media + 1 {
+            return Err(ModelError::CoverageGap {
+                expected_part: expected,
+                found_part: media + 1,
+            });
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::time::consecutive_slots;
+
+    /// The Fig. 4 tree shape (also used by the receive-two tests).
+    fn fig4_tree() -> MergeTree {
+        MergeTree::from_parents(&[
+            None,
+            Some(0),
+            Some(0),
+            Some(0),
+            Some(3),
+            Some(0),
+            Some(5),
+            Some(5),
+        ])
+        .unwrap()
+    }
+
+    #[test]
+    fn client_h_program_matches_lemma17() {
+        // Client 7, path 0 -> 5 -> 7, L = 15:
+        // own: [1, 7−5] = [1,2]; from 5: [1+(7−5), 7−0] = [3,7];
+        // from 0: [1+7, 15] = [8,15].
+        let tree = fig4_tree();
+        let times = consecutive_slots(8);
+        let p = ReceiveAllProgram::build(&tree, &times, 15, 7);
+        assert_eq!(p.path, vec![0, 5, 7]);
+        let parts: Vec<(i64, i64)> = p
+            .segments
+            .iter()
+            .map(|s| (s.first_part, s.last_part))
+            .collect();
+        assert_eq!(parts, vec![(1, 2), (3, 7), (8, 15)]);
+        p.verify(&times, 15, &tree).unwrap();
+    }
+
+    #[test]
+    fn every_client_of_fig4_verifies() {
+        let tree = fig4_tree();
+        let times = consecutive_slots(8);
+        for c in 0..8 {
+            let p = ReceiveAllProgram::build(&tree, &times, 15, c);
+            p.verify(&times, 15, &tree)
+                .unwrap_or_else(|e| panic!("client {c}: {e}"));
+            assert_eq!(p.total_parts(), 15);
+        }
+    }
+
+    #[test]
+    fn root_client_listens_to_one_stream() {
+        let tree = fig4_tree();
+        let times = consecutive_slots(8);
+        let p = ReceiveAllProgram::build(&tree, &times, 15, 0);
+        assert_eq!(p.max_concurrent(), 1);
+        assert_eq!(p.required_buffer(&times, 15), 0);
+    }
+
+    #[test]
+    fn concurrency_is_path_length() {
+        let tree = fig4_tree();
+        let times = consecutive_slots(8);
+        let p = ReceiveAllProgram::build(&tree, &times, 15, 7);
+        assert_eq!(p.max_concurrent(), 3); // path 0 -> 5 -> 7
+        // Deep chains need as many receivers as their depth + 1.
+        let chain = MergeTree::chain(5);
+        let times = consecutive_slots(5);
+        let p = ReceiveAllProgram::build(&chain, &times, 12, 4);
+        assert_eq!(p.max_concurrent(), 5);
+        p.verify(&times, 12, &chain).unwrap();
+    }
+
+    #[test]
+    fn buffer_grows_with_distance_from_root() {
+        let tree = MergeTree::star(6);
+        let times = consecutive_slots(6);
+        let mut last = -1i64;
+        for c in 1..6 {
+            let p = ReceiveAllProgram::build(&tree, &times, 20, c);
+            let b = p.required_buffer(&times, 20);
+            assert!(b >= last, "client {c}");
+            last = b;
+        }
+    }
+
+    #[test]
+    fn star_buffers_match_the_lemma15_bound_in_both_models() {
+        // On a star, both models buffer exactly the out-of-order tail
+        // min(d, L−d): the receive-all client consumes its own stream live
+        // and only holds the root's tail parts until playback reaches them.
+        let tree = MergeTree::star(8);
+        let times = consecutive_slots(8);
+        let media = 10u64;
+        for c in 1..8usize {
+            let ra = ReceiveAllProgram::build(&tree, &times, media, c);
+            let buffer_ra = ra.required_buffer(&times, media);
+            let buffer_r2 = crate::buffer::required_buffer(&tree, &times, media, c);
+            let d = times[c] - times[0];
+            assert_eq!(buffer_r2, d.min(media as i64 - d), "client {c}");
+            assert_eq!(buffer_ra, buffer_r2, "client {c}");
+        }
+    }
+
+    #[test]
+    fn verify_rejects_wrong_media_length() {
+        let tree = fig4_tree();
+        let times = consecutive_slots(8);
+        let p = ReceiveAllProgram::build(&tree, &times, 15, 7);
+        // Claiming a shorter media leaves a coverage overrun.
+        assert!(p.verify(&times, 12, &tree).is_err());
+    }
+}

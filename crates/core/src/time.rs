@@ -1,0 +1,102 @@
+//! Time-axis abstraction.
+//!
+//! All stream-length and cost formulas in the paper are linear expressions in
+//! arrival times (`ℓ(x) = 2z − x − p`), so they evaluate exactly over `i64`
+//! slots and approximately-but-stably over `f64` seconds. [`TimeScalar`]
+//! captures just the operations those formulas need.
+
+use std::fmt::Debug;
+use std::ops::{Add, Sub};
+
+/// Scalar type usable as an arrival time / duration.
+///
+/// Implemented for `i64` (exact slotted arithmetic — the delay-guaranteed
+/// model) and `f64` (continuous time — the dyadic comparison algorithm).
+pub trait TimeScalar:
+    Copy + PartialOrd + Debug + Add<Output = Self> + Sub<Output = Self> + PartialEq
+{
+    /// Additive identity.
+    fn zero() -> Self;
+
+    /// Conversion for reporting/metrics (never used in exact paths).
+    fn to_f64(self) -> f64;
+
+    /// Construction from a slot count (used to inject `L` into cost sums).
+    fn from_slots(slots: u64) -> Self;
+}
+
+impl TimeScalar for i64 {
+    #[inline]
+    fn zero() -> Self {
+        0
+    }
+
+    #[inline]
+    fn to_f64(self) -> f64 {
+        self as f64
+    }
+
+    #[inline]
+    fn from_slots(slots: u64) -> Self {
+        i64::try_from(slots).expect("slot count exceeds i64 range")
+    }
+}
+
+impl TimeScalar for f64 {
+    #[inline]
+    fn zero() -> Self {
+        0.0
+    }
+
+    #[inline]
+    fn to_f64(self) -> f64 {
+        self
+    }
+
+    #[inline]
+    fn from_slots(slots: u64) -> Self {
+        slots as f64
+    }
+}
+
+/// The canonical delay-guaranteed arrival sequence `0, 1, …, n−1`.
+///
+/// The paper reduces a delay-guaranteed system to exactly this instance: one
+/// imaginary client per slot (§2, "Remark").
+pub fn consecutive_slots(n: usize) -> Vec<i64> {
+    (0..n as i64).collect()
+}
+
+/// `true` iff `times` is strictly increasing (a valid arrival sequence).
+pub fn is_strictly_increasing<T: TimeScalar>(times: &[T]) -> bool {
+    times.windows(2).all(|w| w[0] < w[1])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn consecutive_slots_shape() {
+        assert_eq!(consecutive_slots(0), Vec::<i64>::new());
+        assert_eq!(consecutive_slots(4), vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn strictly_increasing_checks() {
+        assert!(is_strictly_increasing::<i64>(&[]));
+        assert!(is_strictly_increasing(&[3i64]));
+        assert!(is_strictly_increasing(&[0i64, 1, 5]));
+        assert!(!is_strictly_increasing(&[0i64, 0]));
+        assert!(!is_strictly_increasing(&[2.0f64, 1.0]));
+    }
+
+    #[test]
+    fn scalar_roundtrips() {
+        assert_eq!(i64::from_slots(15), 15);
+        assert_eq!(f64::from_slots(15), 15.0);
+        assert_eq!(7i64.to_f64(), 7.0);
+        assert_eq!(i64::zero(), 0);
+        assert_eq!(f64::zero(), 0.0);
+    }
+}

@@ -1,0 +1,373 @@
+//! Merge trees (§2 of the paper).
+//!
+//! A merge tree over `n` arrivals is an ordered labeled tree on local indices
+//! `0..n`, rooted at 0, in which every non-root merges to an *earlier*
+//! arrival and children are ordered by arrival. Optimal trees additionally
+//! satisfy the preorder-traversal property (preorder visits labels in
+//! increasing order) — a fact from [6] the paper reuses; [`MergeTree`]
+//! validates the former on construction and exposes the latter as a check.
+
+use crate::error::ModelError;
+
+/// An ordered labeled merge tree over local arrival indices `0..n`.
+///
+/// The tree is structural only: arrival *times* are supplied separately to
+/// the cost functions, so one tree shape can be priced against any time axis
+/// (consecutive slots for the delay-guaranteed model, real timestamps for the
+/// dyadic algorithm).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MergeTree {
+    /// `parent[i]` for non-root `i`; `parent[0]` is unused (stored as 0).
+    parent: Vec<u32>,
+    /// Children of each node, in increasing (arrival) order.
+    children: Vec<Vec<u32>>,
+    /// `z[i]`: the largest label in the subtree rooted at `i` (the paper's
+    /// `z(x)`, the last arrival that still needs stream `i`).
+    last_descendant: Vec<u32>,
+}
+
+impl MergeTree {
+    /// Builds a tree from a parent array. `parents[0]` must be `None`; every
+    /// other entry must name an earlier arrival.
+    pub fn from_parents(parents: &[Option<usize>]) -> Result<Self, ModelError> {
+        if parents.is_empty() {
+            return Err(ModelError::EmptyTree);
+        }
+        if parents[0].is_some() {
+            return Err(ModelError::RootHasParent);
+        }
+        let n = parents.len();
+        let mut parent = vec![0u32; n];
+        let mut children: Vec<Vec<u32>> = vec![Vec::new(); n];
+        for (i, p) in parents.iter().enumerate().skip(1) {
+            let p = p.ok_or(ModelError::MissingParent { node: i })?;
+            if p >= i {
+                return Err(ModelError::ParentNotEarlier { node: i, parent: p });
+            }
+            parent[i] = p as u32;
+            children[p].push(i as u32);
+        }
+        // Children were inserted in increasing label order, so sibling order
+        // is automatically the arrival order the paper requires.
+        let mut last_descendant: Vec<u32> = (0..n as u32).collect();
+        for i in (1..n).rev() {
+            let p = parent[i] as usize;
+            if last_descendant[i] > last_descendant[p] {
+                last_descendant[p] = last_descendant[i];
+            }
+        }
+        Ok(Self {
+            parent,
+            children,
+            last_descendant,
+        })
+    }
+
+    /// The tree with a single arrival.
+    pub fn singleton() -> Self {
+        Self::from_parents(&[None]).expect("singleton is always valid")
+    }
+
+    /// A chain: every arrival merges to its immediate predecessor.
+    ///
+    /// # Panics
+    /// Panics if `n == 0`.
+    pub fn chain(n: usize) -> Self {
+        assert!(n >= 1);
+        let parents: Vec<Option<usize>> = (0..n)
+            .map(|i| if i == 0 { None } else { Some(i - 1) })
+            .collect();
+        Self::from_parents(&parents).expect("chain is always valid")
+    }
+
+    /// A star: every arrival merges directly to the root.
+    ///
+    /// # Panics
+    /// Panics if `n == 0`.
+    pub fn star(n: usize) -> Self {
+        assert!(n >= 1);
+        let parents: Vec<Option<usize>> = (0..n)
+            .map(|i| if i == 0 { None } else { Some(0) })
+            .collect();
+        Self::from_parents(&parents).expect("star is always valid")
+    }
+
+    /// Number of arrivals (nodes).
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.parent.len()
+    }
+
+    /// `true` iff the tree is a single arrival.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        false // a MergeTree always has >= 1 node
+    }
+
+    /// Parent of `node`, or `None` for the root.
+    #[inline]
+    pub fn parent(&self, node: usize) -> Option<usize> {
+        (node != 0).then(|| self.parent[node] as usize)
+    }
+
+    /// Ordered children of `node`.
+    #[inline]
+    pub fn children(&self, node: usize) -> &[u32] {
+        &self.children[node]
+    }
+
+    /// The paper's `z(x)`: the largest arrival in the subtree of `node`
+    /// (equals `node` for leaves).
+    #[inline]
+    pub fn last_descendant(&self, node: usize) -> usize {
+        self.last_descendant[node] as usize
+    }
+
+    /// The last arrival served by this tree, `z(root)`.
+    #[inline]
+    pub fn last_arrival(&self) -> usize {
+        self.last_descendant[0] as usize
+    }
+
+    /// The path of local indices from the root to `node`, inclusive — the
+    /// client's *receiving program* skeleton (`x_0 < x_1 < … < x_k`).
+    pub fn path_from_root(&self, node: usize) -> Vec<usize> {
+        let mut path = Vec::new();
+        let mut cur = node;
+        loop {
+            path.push(cur);
+            match self.parent(cur) {
+                Some(p) => cur = p,
+                None => break,
+            }
+        }
+        path.reverse();
+        path
+    }
+
+    /// Depth of `node` (root has depth 0).
+    pub fn depth(&self, node: usize) -> usize {
+        let mut d = 0;
+        let mut cur = node;
+        while let Some(p) = self.parent(cur) {
+            d += 1;
+            cur = p;
+        }
+        d
+    }
+
+    /// Maximum depth over all nodes (the longest receiving program minus 1).
+    pub fn height(&self) -> usize {
+        (0..self.len()).map(|i| self.depth(i)).max().unwrap_or(0)
+    }
+
+    /// Preorder traversal of the node labels.
+    pub fn preorder(&self) -> Vec<usize> {
+        let mut out = Vec::with_capacity(self.len());
+        let mut stack = vec![0usize];
+        while let Some(node) = stack.pop() {
+            out.push(node);
+            // Push children in reverse so the leftmost is visited first.
+            for &c in self.children[node].iter().rev() {
+                stack.push(c as usize);
+            }
+        }
+        out
+    }
+
+    /// Checks the preorder-traversal property: preorder visits `0, 1, …, n−1`
+    /// in order. Optimal merge trees always satisfy it (§2, citing [6]).
+    pub fn has_preorder_property(&self) -> bool {
+        self.preorder().iter().copied().eq(0..self.len())
+    }
+
+    /// Like [`Self::has_preorder_property`] but reports the first violation.
+    pub fn check_preorder_property(&self) -> Result<(), ModelError> {
+        for (expected, found) in self.preorder().into_iter().enumerate() {
+            if expected != found {
+                return Err(ModelError::PreorderViolation { expected, found });
+            }
+        }
+        Ok(())
+    }
+
+    /// The parent array (index 0 maps to `None`), the inverse of
+    /// [`Self::from_parents`]. Useful for snapshots and serialization.
+    pub fn to_parents(&self) -> Vec<Option<usize>> {
+        (0..self.len()).map(|i| self.parent(i)).collect()
+    }
+
+    /// Grafts `other` onto this tree as a new *last child of the root*,
+    /// relabeling `other`'s nodes to follow this tree's nodes. This is the
+    /// recursive composition of Lemma 2 / Theorem 7: `T = T' ⊕ T''`.
+    pub fn attach_as_last_root_child(&self, other: &Self) -> Self {
+        let n1 = self.len();
+        let n2 = other.len();
+        let mut parents: Vec<Option<usize>> = Vec::with_capacity(n1 + n2);
+        parents.extend(self.to_parents());
+        for i in 0..n2 {
+            parents.push(match other.parent(i) {
+                None => Some(0),          // other's root becomes a child of our root
+                Some(p) => Some(p + n1),  // internal edges shift by n1
+            });
+        }
+        Self::from_parents(&parents).expect("grafting preserves validity")
+    }
+
+    /// Compact single-line rendering, e.g. `(0 (1) (2 (3)))`.
+    pub fn to_sexpr(&self) -> String {
+        fn go(tree: &MergeTree, node: usize, out: &mut String) {
+            use std::fmt::Write;
+            let _ = write!(out, "({node}");
+            for &c in tree.children(node) {
+                out.push(' ');
+                go(tree, c as usize, out);
+            }
+            out.push(')');
+        }
+        let mut s = String::new();
+        go(self, 0, &mut s);
+        s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The paper's Fig. 4: the optimal merge tree for n = 8, merge cost 21.
+    /// Root A=0 with children B=1, C=2, D=3, F=5; E=4 merges to D; G=6 and
+    /// H=7 merge to F: `(0 (1) (2) (3 (4)) (5 (6) (7)))`.
+    pub(crate) fn fig4_tree() -> MergeTree {
+        MergeTree::from_parents(&[
+            None,
+            Some(0),
+            Some(0),
+            Some(0),
+            Some(3),
+            Some(0),
+            Some(5),
+            Some(5),
+        ])
+        .unwrap()
+    }
+
+    #[test]
+    fn from_parents_rejects_bad_shapes() {
+        assert_eq!(
+            MergeTree::from_parents(&[]).unwrap_err(),
+            ModelError::EmptyTree
+        );
+        assert_eq!(
+            MergeTree::from_parents(&[Some(0)]).unwrap_err(),
+            ModelError::RootHasParent
+        );
+        assert_eq!(
+            MergeTree::from_parents(&[None, None]).unwrap_err(),
+            ModelError::MissingParent { node: 1 }
+        );
+        assert_eq!(
+            MergeTree::from_parents(&[None, Some(1)]).unwrap_err(),
+            ModelError::ParentNotEarlier { node: 1, parent: 1 }
+        );
+        assert_eq!(
+            MergeTree::from_parents(&[None, Some(2), Some(1)]).unwrap_err(),
+            ModelError::ParentNotEarlier { node: 1, parent: 2 }
+        );
+    }
+
+    #[test]
+    fn fig4_structure() {
+        let t = fig4_tree();
+        assert_eq!(t.len(), 8);
+        assert_eq!(t.children(0), &[1, 2, 3, 5]);
+        assert_eq!(t.children(3), &[4]);
+        assert_eq!(t.children(5), &[6, 7]);
+        assert!(t.has_preorder_property());
+        assert_eq!(t.last_arrival(), 7);
+    }
+
+    #[test]
+    fn fig4_last_descendants() {
+        let t = fig4_tree();
+        // z(A)=H, z(D)=E, z(F)=H, z(leaf)=leaf.
+        assert_eq!(t.last_descendant(0), 7);
+        assert_eq!(t.last_descendant(3), 4);
+        assert_eq!(t.last_descendant(5), 7);
+        assert_eq!(t.last_descendant(2), 2);
+        assert_eq!(t.last_descendant(7), 7);
+    }
+
+    #[test]
+    fn fig4_paths() {
+        let t = fig4_tree();
+        // Client H arrives at 7; the paper's example: x0=0, x1=5, x2=7.
+        assert_eq!(t.path_from_root(7), vec![0, 5, 7]);
+        assert_eq!(t.path_from_root(0), vec![0]);
+        assert_eq!(t.path_from_root(4), vec![0, 3, 4]);
+    }
+
+    #[test]
+    fn preorder_property_detects_violation() {
+        // 0 -> {1, 2}, but 3 hangs under 1: preorder = 0,1,3,2.
+        let t = MergeTree::from_parents(&[None, Some(0), Some(0), Some(1)]).unwrap();
+        assert!(!t.has_preorder_property());
+        assert_eq!(
+            t.check_preorder_property().unwrap_err(),
+            ModelError::PreorderViolation {
+                expected: 2,
+                found: 3
+            }
+        );
+    }
+
+    #[test]
+    fn chain_and_star_shapes() {
+        let chain = MergeTree::chain(4);
+        assert_eq!(chain.to_parents(), vec![None, Some(0), Some(1), Some(2)]);
+        assert_eq!(chain.height(), 3);
+        assert!(chain.has_preorder_property());
+
+        let star = MergeTree::star(4);
+        assert_eq!(star.to_parents(), vec![None, Some(0), Some(0), Some(0)]);
+        assert_eq!(star.height(), 1);
+        assert!(star.has_preorder_property());
+
+        let single = MergeTree::singleton();
+        assert_eq!(single.len(), 1);
+        assert_eq!(single.height(), 0);
+    }
+
+    #[test]
+    fn attach_reproduces_lemma2_composition() {
+        // T' = (0 (1)), T'' = (0 (1)) -> combined (0 (1) (2 (3))).
+        let t1 = MergeTree::chain(2);
+        let t2 = MergeTree::chain(2);
+        let t = t1.attach_as_last_root_child(&t2);
+        assert_eq!(t.to_parents(), vec![None, Some(0), Some(0), Some(2)]);
+        assert!(t.has_preorder_property());
+        assert_eq!(t.last_descendant(2), 3);
+    }
+
+    #[test]
+    fn sexpr_rendering() {
+        assert_eq!(fig4_tree().to_sexpr(), "(0 (1) (2) (3 (4)) (5 (6) (7)))");
+        assert_eq!(MergeTree::singleton().to_sexpr(), "(0)");
+    }
+
+    #[test]
+    fn roundtrip_parents() {
+        let t = fig4_tree();
+        let t2 = MergeTree::from_parents(&t.to_parents()).unwrap();
+        assert_eq!(t, t2);
+    }
+
+    #[test]
+    fn depths() {
+        let t = fig4_tree();
+        assert_eq!(t.depth(0), 0);
+        assert_eq!(t.depth(1), 1);
+        assert_eq!(t.depth(4), 2);
+        assert_eq!(t.height(), 2);
+    }
+}

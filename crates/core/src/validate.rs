@@ -1,0 +1,217 @@
+//! Solution feasibility checks.
+//!
+//! A merge tree is *structurally* valid by construction; these helpers check
+//! the model-level feasibility conditions the paper states:
+//!
+//! * the root stream can serve its last client: `z − r ≤ L − 1` (§2,
+//!   "Length of streams");
+//! * no stream would have to broadcast past the end of the media:
+//!   `ℓ(x) ≤ L` (implicit in streams being prefixes of the media);
+//! * optionally, the preorder-traversal property (all *optimal* trees have
+//!   it);
+//! * optionally, a client buffer bound `B` (§3.3, Lemma 15).
+
+use crate::cost::lengths;
+use crate::error::ModelError;
+use crate::forest::MergeForest;
+use crate::time::{is_strictly_increasing, TimeScalar};
+use crate::tree::MergeTree;
+
+/// What to check beyond the basic span/length feasibility.
+#[derive(Debug, Clone, Copy, PartialEq)]
+#[derive(Default)]
+pub struct ValidationOptions {
+    /// Require the preorder-traversal property.
+    pub require_preorder: bool,
+    /// Client buffer bound `B` in parts (`None` = unbounded).
+    pub buffer_bound: Option<u64>,
+}
+
+
+/// Validates a single tree over `times` against media length `media_len`.
+pub fn validate_tree<T: TimeScalar>(
+    tree: &MergeTree,
+    times: &[T],
+    media_len: u64,
+    opts: ValidationOptions,
+) -> Result<(), ModelError> {
+    if times.len() != tree.len() {
+        return Err(ModelError::TimesLengthMismatch {
+            nodes: tree.len(),
+            times: times.len(),
+        });
+    }
+    if !is_strictly_increasing(times) {
+        return Err(ModelError::TimesNotSorted);
+    }
+    if opts.require_preorder {
+        tree.check_preorder_property()?;
+    }
+    let media = T::from_slots(media_len);
+    let one = T::from_slots(1);
+    // Span: z − r ≤ L − 1 so the last client still catches the root stream.
+    let span = times[tree.last_arrival()] - times[0];
+    // NaN-safe: an incomparable (NaN) span must *fail* validation, so the
+    // negated comparison is deliberate.
+    #[allow(clippy::neg_cmp_op_on_partial_ord)]
+    if !(span + one <= media) {
+        return Err(ModelError::SpanExceedsStream {
+            root: 0,
+            last: tree.last_arrival(),
+        });
+    }
+    // Every non-root stream is a prefix of the media: ℓ(x) ≤ L.
+    #[allow(clippy::neg_cmp_op_on_partial_ord)] // NaN must fail validation
+    for (x, len) in lengths(tree, times).into_iter().enumerate().skip(1) {
+        if !(len <= media) {
+            return Err(ModelError::LengthExceedsMedia { node: x });
+        }
+    }
+    if let Some(bound) = opts.buffer_bound {
+        // Lemma 15: b(x) = min(x − r, L − (x − r)).
+        for x in 1..tree.len() {
+            let d = (times[x] - times[0]).to_f64();
+            let b = d.min(media_len as f64 - d);
+            if b > bound as f64 {
+                return Err(ModelError::BufferExceeded {
+                    node: x,
+                    needed: b.ceil() as u64,
+                    bound,
+                });
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Validates every tree of a forest (slicing `times` per tree).
+pub fn validate_forest<T: TimeScalar>(
+    forest: &MergeForest,
+    times: &[T],
+    media_len: u64,
+    opts: ValidationOptions,
+) -> Result<(), ModelError> {
+    if times.len() != forest.total_arrivals() {
+        return Err(ModelError::TimesLengthMismatch {
+            nodes: forest.total_arrivals(),
+            times: times.len(),
+        });
+    }
+    for (range, tree) in forest.iter_with_ranges() {
+        validate_tree(tree, &times[range], media_len, opts)?;
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::time::consecutive_slots;
+
+    fn fig4() -> MergeTree {
+        MergeTree::from_parents(&[
+            None,
+            Some(0),
+            Some(0),
+            Some(0),
+            Some(3),
+            Some(0),
+            Some(5),
+            Some(5),
+        ])
+        .unwrap()
+    }
+
+    #[test]
+    fn fig4_valid_for_l15() {
+        let t = fig4();
+        let times = consecutive_slots(8);
+        validate_tree(&t, &times, 15, ValidationOptions::default()).unwrap();
+        validate_tree(
+            &t,
+            &times,
+            15,
+            ValidationOptions {
+                require_preorder: true,
+                buffer_bound: Some(7),
+            },
+        )
+        .unwrap();
+    }
+
+    #[test]
+    fn span_violation_detected() {
+        let t = fig4();
+        let times = consecutive_slots(8);
+        // L = 7: last arrival 7 > L - 1 = 6 slots from the root.
+        let err = validate_tree(&t, &times, 7, ValidationOptions::default()).unwrap_err();
+        assert_eq!(err, ModelError::SpanExceedsStream { root: 0, last: 7 });
+    }
+
+    #[test]
+    fn length_violation_detected() {
+        // Chain over 0..5 with L = 8: span ok (5 <= 7) but ℓ(1) = 2·5−1−0 = 9 > 8.
+        let t = MergeTree::chain(6);
+        let times = consecutive_slots(6);
+        let err = validate_tree(&t, &times, 8, ValidationOptions::default()).unwrap_err();
+        assert_eq!(err, ModelError::LengthExceedsMedia { node: 1 });
+    }
+
+    #[test]
+    fn buffer_bound_enforced() {
+        let t = fig4();
+        let times = consecutive_slots(8);
+        let err = validate_tree(
+            &t,
+            &times,
+            15,
+            ValidationOptions {
+                require_preorder: false,
+                buffer_bound: Some(3),
+            },
+        )
+        .unwrap_err();
+        assert!(matches!(err, ModelError::BufferExceeded { node: 4, .. }));
+    }
+
+    #[test]
+    fn unsorted_times_detected() {
+        let t = MergeTree::chain(3);
+        let err = validate_tree(&t, &[0i64, 2, 2], 15, ValidationOptions::default()).unwrap_err();
+        assert_eq!(err, ModelError::TimesNotSorted);
+    }
+
+    #[test]
+    fn preorder_requirement() {
+        let t = MergeTree::from_parents(&[None, Some(0), Some(0), Some(1)]).unwrap();
+        let times = consecutive_slots(4);
+        assert!(validate_tree(&t, &times, 15, ValidationOptions::default()).is_ok());
+        let err = validate_tree(
+            &t,
+            &times,
+            15,
+            ValidationOptions {
+                require_preorder: true,
+                buffer_bound: None,
+            },
+        )
+        .unwrap_err();
+        assert!(matches!(err, ModelError::PreorderViolation { .. }));
+    }
+
+    #[test]
+    fn forest_validation_slices_times() {
+        let f = MergeForest::from_trees(vec![fig4(), MergeTree::star(4)]).unwrap();
+        let times = consecutive_slots(12);
+        validate_forest(&f, &times, 15, ValidationOptions::default()).unwrap();
+    }
+
+    #[test]
+    fn continuous_times_validate() {
+        let t = MergeTree::star(3);
+        let times = [0.0f64, 0.25, 1.5];
+        validate_tree(&t, &times, 4, ValidationOptions::default()).unwrap();
+        // Span 1.5 > L - 1 = 0: invalid for L = 1.
+        assert!(validate_tree(&t, &times, 1, ValidationOptions::default()).is_err());
+    }
+}

@@ -1,0 +1,16 @@
+//! Runs every experiment in sequence (the EXPERIMENTS.md driver).
+
+use std::process::Command;
+
+fn main() {
+    for bin in [
+        "tables", "fig1", "fig8", "fig9", "fig11", "fig12", "ratios", "hybrid", "buffers",
+        "policies", "broadcast", "server", "dynamic",
+    ] {
+        println!("==================== {bin} ====================");
+        let status = Command::new(std::env::current_exe().unwrap().parent().unwrap().join(bin))
+            .status()
+            .unwrap_or_else(|e| panic!("failed to launch {bin}: {e}"));
+        assert!(status.success(), "{bin} failed");
+    }
+}

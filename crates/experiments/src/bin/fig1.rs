@@ -1,0 +1,14 @@
+//! Regenerates Fig. 1: bandwidth vs guaranteed start-up delay.
+
+use sm_experiments::output::{render_table, results_dir, write_csv};
+use sm_experiments::fig1;
+
+fn main() {
+    let rows = fig1::compute(100, &fig1::default_delays());
+    let table = fig1::to_rows(&rows);
+    println!("Figure 1 — server bandwidth vs start-up delay (horizon = 100 media lengths)\n");
+    println!("{}", render_table(&fig1::HEADERS, &table));
+    let path = results_dir().join("fig1.csv");
+    write_csv(&path, &fig1::HEADERS, &table).expect("write CSV");
+    println!("wrote {}", path.display());
+}

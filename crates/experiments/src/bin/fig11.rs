@@ -1,0 +1,18 @@
+//! Regenerates Fig. 11: algorithm comparison under constant-rate arrivals.
+
+use sm_experiments::intensity::{self, ArrivalKind, IntensityConfig};
+use sm_experiments::output::{render_table, results_dir, write_csv};
+
+fn main() {
+    let cfg = IntensityConfig::default();
+    let rows = intensity::compute(&cfg, &ArrivalKind::ConstantRate);
+    let table = intensity::to_rows(&rows);
+    println!(
+        "Figure 11 — constant-rate arrivals (L = {} slots, delay = 1% of media, horizon = {} media lengths)\n",
+        cfg.media_slots, cfg.horizon_media
+    );
+    println!("{}", render_table(&intensity::HEADERS, &table));
+    let path = results_dir().join("fig11.csv");
+    write_csv(&path, &intensity::HEADERS, &table).expect("write CSV");
+    println!("wrote {}", path.display());
+}

@@ -1,0 +1,22 @@
+//! Regenerates Fig. 12: algorithm comparison under Poisson arrivals
+//! (averaged over seeds).
+
+use sm_experiments::intensity::{self, ArrivalKind, IntensityConfig};
+use sm_experiments::output::{render_table, results_dir, write_csv};
+
+fn main() {
+    let cfg = IntensityConfig::default();
+    let kind = ArrivalKind::Poisson {
+        seeds: vec![1, 2, 3, 4, 5],
+    };
+    let rows = intensity::compute(&cfg, &kind);
+    let table = intensity::to_rows(&rows);
+    println!(
+        "Figure 12 — Poisson arrivals, 5 seeds (L = {} slots, delay = 1% of media, horizon = {} media lengths)\n",
+        cfg.media_slots, cfg.horizon_media
+    );
+    println!("{}", render_table(&intensity::HEADERS, &table));
+    let path = results_dir().join("fig12.csv");
+    write_csv(&path, &intensity::HEADERS, &table).expect("write CSV");
+    println!("wrote {}", path.display());
+}

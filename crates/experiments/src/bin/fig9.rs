@@ -1,0 +1,14 @@
+//! Regenerates Fig. 9: on-line/off-line bandwidth ratio vs time horizon.
+
+use sm_experiments::fig9;
+use sm_experiments::output::{render_table, results_dir, write_csv};
+
+fn main() {
+    let rows = fig9::compute(&fig9::default_configs());
+    let table = fig9::to_rows(&rows);
+    println!("Figure 9 — on-line vs optimal off-line bandwidth ratio\n");
+    println!("{}", render_table(&fig9::HEADERS, &table));
+    let path = results_dir().join("fig9.csv");
+    write_csv(&path, &fig9::HEADERS, &table).expect("write CSV");
+    println!("wrote {}", path.display());
+}

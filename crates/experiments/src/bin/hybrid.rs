@@ -1,0 +1,18 @@
+//! Extension experiment: the §5 hybrid server on bursty (MMPP) traffic.
+
+use sm_experiments::hybrid_exp::{self, HybridSweep};
+use sm_experiments::output::{render_table, results_dir, write_csv};
+
+fn main() {
+    let cfg = HybridSweep::default();
+    let rows = hybrid_exp::compute(&cfg);
+    let table = hybrid_exp::to_rows(&rows);
+    println!(
+        "Hybrid server on bursty traffic (L = {} slots, horizon = {} slots; burst gap {} slots, lull gap {} slots)\n",
+        cfg.media_slots, cfg.horizon_slots, cfg.burst_gap, cfg.lull_gap
+    );
+    println!("{}", render_table(&hybrid_exp::HEADERS, &table));
+    let path = results_dir().join("hybrid.csv");
+    write_csv(&path, &hybrid_exp::HEADERS, &table).expect("write CSV");
+    println!("wrote {}", path.display());
+}

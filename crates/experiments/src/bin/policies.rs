@@ -1,0 +1,32 @@
+//! Extended on-line policy comparison: DG vs dyadic vs ERMT vs patching vs
+//! batching, constant-rate and Poisson.
+
+use sm_experiments::output::{render_table, results_dir, write_csv};
+use sm_experiments::policies::{self, PoliciesConfig};
+
+fn main() {
+    let constant = PoliciesConfig::default();
+    let rows = policies::compute(&constant);
+    println!(
+        "Policy comparison — constant-rate arrivals (L = {} slots, delay = 1%, horizon = {} media)\n",
+        constant.media_slots, constant.horizon_media
+    );
+    println!("{}", render_table(&policies::HEADERS, &policies::to_rows(&rows)));
+    let path = results_dir().join("policies_constant.csv");
+    write_csv(&path, &policies::HEADERS, &policies::to_rows(&rows)).expect("write CSV");
+    println!("wrote {}\n", path.display());
+
+    let poisson = PoliciesConfig {
+        seeds: vec![11, 22, 33, 44, 55],
+        ..PoliciesConfig::default()
+    };
+    let rows = policies::compute(&poisson);
+    println!(
+        "Policy comparison — Poisson arrivals ({} seeds)\n",
+        poisson.seeds.len()
+    );
+    println!("{}", render_table(&policies::HEADERS, &policies::to_rows(&rows)));
+    let path = results_dir().join("policies_poisson.csv");
+    write_csv(&path, &policies::HEADERS, &policies::to_rows(&rows)).expect("write CSV");
+    println!("wrote {}", path.display());
+}

@@ -1,0 +1,54 @@
+//! Regenerates the ratio tables of Theorems 14, 19, 20 and 22.
+
+use sm_experiments::output::{render_table, results_dir, write_csv};
+use sm_experiments::ratios;
+
+fn main() {
+    println!("Theorem 19 — M(n)/Mw(n) -> log_phi(2) ~ 1.4404\n");
+    let t19 = ratios::theorem19_rows();
+    let rows: Vec<Vec<String>> = t19
+        .iter()
+        .map(|r| {
+            vec![
+                r.n.to_string(),
+                r.m_two.to_string(),
+                r.m_all.to_string(),
+                format!("{:.4}", r.ratio),
+            ]
+        })
+        .collect();
+    println!("{}", render_table(&["n", "M(n)", "Mw(n)", "ratio"], &rows));
+    write_csv(&results_dir().join("theorem19.csv"), &["n", "m2", "mall", "ratio"], &rows)
+        .expect("write CSV");
+
+    println!("Theorem 20 — F(L,n)/Fw(L,n) for n = 300 L\n");
+    let t20 = ratios::theorem20_rows();
+    let rows: Vec<Vec<String>> = t20
+        .iter()
+        .map(|(l, r)| vec![l.to_string(), format!("{r:.4}")])
+        .collect();
+    println!("{}", render_table(&["L", "ratio"], &rows));
+    write_csv(&results_dir().join("theorem20.csv"), &["L", "ratio"], &rows).expect("write CSV");
+
+    println!("Theorem 14 — merging gain over plain batching (~ L / log L)\n");
+    let t14 = ratios::theorem14_rows();
+    let rows: Vec<Vec<String>> = t14
+        .iter()
+        .map(|(l, gain, pred)| {
+            vec![l.to_string(), format!("{gain:.2}"), format!("{pred:.2}")]
+        })
+        .collect();
+    println!("{}", render_table(&["L", "gain", "L/log_phi L"], &rows));
+    write_csv(&results_dir().join("theorem14.csv"), &["L", "gain", "predicted"], &rows)
+        .expect("write CSV");
+
+    println!("Theorem 22 — A/F vs 1 + 2L/n (L = 15)\n");
+    let t22 = ratios::theorem22_rows(15);
+    let rows: Vec<Vec<String>> = t22
+        .iter()
+        .map(|(n, r, b)| vec![n.to_string(), format!("{r:.6}"), format!("{b:.6}")])
+        .collect();
+    println!("{}", render_table(&["n", "ratio", "bound"], &rows));
+    write_csv(&results_dir().join("theorem22.csv"), &["n", "ratio", "bound"], &rows)
+        .expect("write CSV");
+}

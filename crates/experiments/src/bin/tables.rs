@@ -1,0 +1,52 @@
+//! Regenerates the in-text tables: M(n), Momega(n), Figs. 4/6/7 trees and
+//! the worked numeric examples.
+
+use sm_experiments::output::{render_table, results_dir, write_csv};
+use sm_experiments::tables;
+
+fn main() {
+    let mn = tables::mn_table(16);
+    let mn_rows: Vec<Vec<String>> = mn
+        .iter()
+        .map(|(n, c, d)| vec![n.to_string(), c.to_string(), d.to_string()])
+        .collect();
+    println!("M(n), closed form vs DP (paper §3.1 table)\n");
+    println!("{}", render_table(&["n", "M(n)", "M(n) via DP"], &mn_rows));
+
+    let mo = tables::momega_table(16);
+    let mo_rows: Vec<Vec<String>> = mo
+        .iter()
+        .map(|(n, c, d)| vec![n.to_string(), c.to_string(), d.to_string()])
+        .collect();
+    println!("Momega(n), closed form vs DP (paper §3.4 table)\n");
+    println!("{}", render_table(&["n", "Mw(n)", "Mw(n) via DP"], &mo_rows));
+
+    println!("Fig. 4 optimal tree for n = 8: {}\n", tables::fig4_tree_sexpr());
+
+    println!("Fig. 6 — the two optimal trees for n = 4:");
+    for (sexpr, cost) in tables::fig6_trees() {
+        println!("  {sexpr}   Mcost = {cost}");
+    }
+    println!();
+
+    println!("Fig. 7 — Fibonacci merge trees:");
+    for (n, sexpr, cost) in tables::fig7_trees() {
+        println!("  n = {n:>2}: Mcost = {cost:>3}   {sexpr}");
+    }
+    println!();
+
+    println!("Worked examples from the text:");
+    let ex = tables::text_examples();
+    let ex_rows: Vec<Vec<String>> = ex
+        .iter()
+        .map(|(l, got, want)| vec![l.to_string(), got.to_string(), want.to_string()])
+        .collect();
+    println!("{}", render_table(&["example", "computed", "paper"], &ex_rows));
+
+    write_csv(&results_dir().join("table_mn.csv"), &["n", "mn", "mn_dp"], &mn_rows)
+        .expect("write CSV");
+    write_csv(&results_dir().join("table_momega.csv"), &["n", "momega", "momega_dp"], &mo_rows)
+        .expect("write CSV");
+    println!("wrote {}", results_dir().join("table_mn.csv").display());
+    println!("wrote {}", results_dir().join("table_momega.csv").display());
+}

@@ -1,0 +1,138 @@
+//! Static vs dynamic bandwidth — quantifying the paper's §1 framing.
+//!
+//! Every static-allocation scheme pays a *constant* channel count chosen at
+//! provisioning time; the Delay Guaranteed stream-merging server pays a
+//! steady-state bandwidth that is also constant (it starts streams on the
+//! slot grid) but *scales with the delay* like `log_φ L` (Theorem 13) rather
+//! than `log₂` of the delay ratio, and — unlike the static schemes — can be
+//! re-provisioned on the fly because channel allocation is dynamic (§5).
+//!
+//! For a media of `L` units and a sweep of delays `D | L`, the table lists
+//! verified channels per static scheme next to DG's measured steady-state
+//! peak and average.
+
+use crate::parallel::parallel_map;
+use sm_broadcast::static_tradeoff;
+use sm_online::capacity::steady_state_bandwidth;
+
+/// One delay point: channel demand per scheme.
+#[derive(Debug, Clone)]
+pub struct BroadcastRow {
+    /// Guaranteed delay, in units.
+    pub delay: u64,
+    /// Staggered broadcasting channels (= L/D, the batching cost).
+    pub staggered: f64,
+    /// Unit-rate pyramid (α = 1.5).
+    pub pyramid: f64,
+    /// Skyscraper (W = 52), receive-two.
+    pub skyscraper: f64,
+    /// Fast broadcasting, receive-all.
+    pub fast: f64,
+    /// Delayed harmonic, fluid receive-all.
+    pub harmonic: f64,
+    /// DG stream merging: steady-state peak concurrent streams.
+    pub merging_peak: u64,
+    /// DG stream merging: steady-state average concurrent streams.
+    pub merging_avg: f64,
+}
+
+/// Computes the table for `media_len` over `delays` (each must divide
+/// `media_len`).
+pub fn compute(media_len: u64, delays: &[u64]) -> Vec<BroadcastRow> {
+    parallel_map(delays, |&delay| {
+        let rows = static_tradeoff(media_len, delay)
+            .unwrap_or_else(|e| panic!("delay {delay}: {e}"));
+        let by = |name: &str| {
+            rows.iter()
+                .find(|r| r.scheme.starts_with(name))
+                .unwrap_or_else(|| panic!("missing scheme {name}"))
+                .channels
+        };
+        let merging = steady_state_bandwidth(media_len / delay);
+        BroadcastRow {
+            delay,
+            staggered: by("staggered"),
+            pyramid: by("pyramid"),
+            skyscraper: by("skyscraper"),
+            fast: by("fast"),
+            harmonic: by("harmonic"),
+            merging_peak: merging.peak as u64,
+            merging_avg: merging.average,
+        }
+    })
+}
+
+/// Table rows for rendering/CSV.
+pub fn to_rows(rows: &[BroadcastRow]) -> Vec<Vec<String>> {
+    rows.iter()
+        .map(|r| {
+            vec![
+                r.delay.to_string(),
+                format!("{:.1}", r.staggered),
+                format!("{:.1}", r.pyramid),
+                format!("{:.2}", r.skyscraper),
+                format!("{:.1}", r.fast),
+                format!("{:.2}", r.harmonic),
+                r.merging_peak.to_string(),
+                format!("{:.2}", r.merging_avg),
+            ]
+        })
+        .collect()
+}
+
+/// Column headers matching [`to_rows`].
+pub const HEADERS: [&str; 8] = [
+    "delay",
+    "staggered",
+    "pyramid_1.5",
+    "skyscraper_W52",
+    "fast",
+    "harmonic",
+    "merging_peak",
+    "merging_avg",
+];
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ordering_holds_at_one_percent_delay() {
+        let rows = compute(100, &[1]);
+        let r = &rows[0];
+        assert_eq!(r.staggered, 100.0);
+        assert!(r.pyramid > r.fast);
+        assert!(r.fast > r.harmonic);
+        // DG's steady bandwidth sits in the same ballpark as the log-family
+        // static schemes — the paper's point is flexibility, not constants.
+        assert!((r.merging_avg - r.harmonic).abs() < r.staggered);
+        assert!(r.merging_peak >= r.merging_avg.floor() as u64);
+    }
+
+    #[test]
+    fn every_scheme_improves_with_longer_delays() {
+        let rows = compute(100, &[1, 2, 5, 10]);
+        for w in rows.windows(2) {
+            assert!(w[1].staggered < w[0].staggered);
+            assert!(w[1].harmonic <= w[0].harmonic);
+            assert!(w[1].fast <= w[0].fast);
+            assert!(w[1].merging_avg <= w[0].merging_avg + 1e-9);
+        }
+    }
+
+    #[test]
+    fn merging_tracks_log_phi_of_media_units() {
+        // Theorem 13: average bandwidth ≈ log_φ(L/D) + Θ(1).
+        let rows = compute(120, &[1, 4, 24]);
+        for r in &rows {
+            let log_phi = ((120 / r.delay) as f64).ln() / sm_fib::PHI.ln();
+            assert!(
+                (r.merging_avg - log_phi).abs() < 3.5,
+                "delay {}: avg {} vs log_phi {}",
+                r.delay,
+                r.merging_avg,
+                log_phi
+            );
+        }
+    }
+}

@@ -1,0 +1,125 @@
+//! Figure 1: server bandwidth (in complete media streams) as a function of
+//! the guaranteed start-up delay, for the optimal off-line and the on-line
+//! delay-guaranteed algorithms.
+//!
+//! Setup per the paper's §1: a stream starts at the end of every unit (one
+//! imaginary arrival per slot), where the unit is the start-up delay; the
+//! x-axis is the delay as a percentage of the media length; the y-axis is
+//! total server bandwidth in complete-stream equivalents. We fix the horizon
+//! at `horizon_media` media lengths (the empirical section uses 100).
+
+use crate::parallel::parallel_map;
+use sm_offline::forest::optimal_full_cost;
+use sm_online::delay_guaranteed::online_full_cost;
+
+/// One point of Fig. 1.
+#[derive(Debug, Clone, Copy)]
+pub struct Fig1Row {
+    /// Start-up delay as % of media length.
+    pub delay_pct: f64,
+    /// Media length in slots (`L = round(100 / delay_pct)`).
+    pub media_len: u64,
+    /// Number of slots in the horizon (`horizon_media × L`).
+    pub n_slots: u64,
+    /// Optimal off-line full cost, slot-units.
+    pub offline_units: u64,
+    /// On-line full cost, slot-units.
+    pub online_units: u64,
+    /// Off-line bandwidth in complete streams (`units / L`).
+    pub offline_streams: f64,
+    /// On-line bandwidth in complete streams.
+    pub online_streams: f64,
+}
+
+/// The delay grid used in our reproduction (% of media length).
+pub fn default_delays() -> Vec<f64> {
+    vec![
+        0.5, 0.75, 1.0, 1.5, 2.0, 3.0, 4.0, 5.0, 7.5, 10.0, 12.5, 15.0, 20.0,
+    ]
+}
+
+/// Computes the figure.
+pub fn compute(horizon_media: u64, delays_pct: &[f64]) -> Vec<Fig1Row> {
+    parallel_map(delays_pct, |&delay_pct| {
+        let media_len = (100.0 / delay_pct).round().max(1.0) as u64;
+        let n_slots = horizon_media * media_len;
+        let offline_units = optimal_full_cost(media_len, n_slots);
+        let online_units = online_full_cost(media_len, n_slots);
+        Fig1Row {
+            delay_pct,
+            media_len,
+            n_slots,
+            offline_units,
+            online_units,
+            offline_streams: offline_units as f64 / media_len as f64,
+            online_streams: online_units as f64 / media_len as f64,
+        }
+    })
+}
+
+/// Table rows for rendering/CSV.
+pub fn to_rows(rows: &[Fig1Row]) -> Vec<Vec<String>> {
+    rows.iter()
+        .map(|r| {
+            vec![
+                format!("{:.2}", r.delay_pct),
+                r.media_len.to_string(),
+                r.n_slots.to_string(),
+                r.offline_units.to_string(),
+                r.online_units.to_string(),
+                format!("{:.1}", r.offline_streams),
+                format!("{:.1}", r.online_streams),
+            ]
+        })
+        .collect()
+}
+
+/// Column headers matching [`to_rows`].
+pub const HEADERS: [&str; 7] = [
+    "delay_pct",
+    "L",
+    "n_slots",
+    "offline_units",
+    "online_units",
+    "offline_streams",
+    "online_streams",
+];
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bandwidth_decreases_with_delay() {
+        let rows = compute(100, &default_delays());
+        for w in rows.windows(2) {
+            assert!(
+                w[1].offline_streams <= w[0].offline_streams + 1e-9,
+                "off-line bandwidth must fall as delay grows: {:?} -> {:?}",
+                w[0].delay_pct,
+                w[1].delay_pct
+            );
+        }
+    }
+
+    #[test]
+    fn online_tracks_offline_closely() {
+        // §1: "the on-line algorithm has performance very close to the
+        // optimal off-line algorithm".
+        for r in compute(100, &default_delays()) {
+            assert!(r.online_units >= r.offline_units);
+            let ratio = r.online_units as f64 / r.offline_units as f64;
+            assert!(ratio < 1.05, "delay {}%: ratio {ratio}", r.delay_pct);
+        }
+    }
+
+    #[test]
+    fn savings_vs_batching_are_large() {
+        // At 1% delay batching would need ~horizon streams; merging needs
+        // far fewer (Theorem 14's L/log L factor).
+        let rows = compute(100, &[1.0]);
+        let r = &rows[0];
+        let batching_streams = r.n_slots as f64 / r.media_len as f64 * r.media_len as f64;
+        assert!(r.offline_streams * 5.0 < batching_streams);
+    }
+}

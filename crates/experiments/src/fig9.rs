@@ -1,0 +1,119 @@
+//! Figure 9: the ratio of on-line to optimal off-line total bandwidth as
+//! the time horizon grows — the empirical counterpart of Theorem 22
+//! (`A/F ≤ 1 + 2L/n`, so the ratio tends to 1).
+
+use crate::parallel::parallel_map;
+use sm_offline::forest::optimal_full_cost;
+use sm_online::analysis;
+use sm_online::delay_guaranteed::online_full_cost;
+
+/// One point of Fig. 9.
+#[derive(Debug, Clone, Copy)]
+pub struct Fig9Row {
+    /// Media length in slots.
+    pub media_len: u64,
+    /// Horizon in slots.
+    pub n_slots: u64,
+    /// On-line cost (slot-units).
+    pub online_units: u64,
+    /// Optimal cost (slot-units).
+    pub offline_units: u64,
+    /// `A / F`.
+    pub ratio: f64,
+    /// Theorem 22 bound `1 + 2L/n` (valid for `L ≥ 7`, `n > L²+2`).
+    pub bound: f64,
+}
+
+/// Default horizon sweep: geometric in `n`, a few media lengths.
+pub fn default_configs() -> Vec<(u64, u64)> {
+    let mut v = Vec::new();
+    for &media_len in &[50u64, 100, 200] {
+        let mut n = media_len;
+        while n <= media_len * 3000 {
+            v.push((media_len, n));
+            n *= 3;
+        }
+    }
+    v
+}
+
+/// Computes the figure for `(L, n)` pairs.
+pub fn compute(configs: &[(u64, u64)]) -> Vec<Fig9Row> {
+    parallel_map(configs, |&(media_len, n_slots)| {
+        let online_units = online_full_cost(media_len, n_slots);
+        let offline_units = optimal_full_cost(media_len, n_slots);
+        Fig9Row {
+            media_len,
+            n_slots,
+            online_units,
+            offline_units,
+            ratio: online_units as f64 / offline_units as f64,
+            bound: analysis::theorem22_bound(media_len, n_slots),
+        }
+    })
+}
+
+/// Table rows for rendering/CSV.
+pub fn to_rows(rows: &[Fig9Row]) -> Vec<Vec<String>> {
+    rows.iter()
+        .map(|r| {
+            vec![
+                r.media_len.to_string(),
+                r.n_slots.to_string(),
+                r.online_units.to_string(),
+                r.offline_units.to_string(),
+                format!("{:.6}", r.ratio),
+                format!("{:.6}", r.bound),
+            ]
+        })
+        .collect()
+}
+
+/// Column headers matching [`to_rows`].
+pub const HEADERS: [&str; 6] = ["L", "n_slots", "online", "offline", "ratio", "thm22_bound"];
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ratio_approaches_one() {
+        let rows = compute(&default_configs());
+        for &media_len in &[50u64, 100, 200] {
+            let series: Vec<&Fig9Row> =
+                rows.iter().filter(|r| r.media_len == media_len).collect();
+            let last = series.last().unwrap();
+            assert!(last.ratio < 1.01, "L = {media_len}: {}", last.ratio);
+            // Not just the last point: the series must be (weakly) improving
+            // once past the first few points.
+            for w in series.windows(2).skip(2) {
+                assert!(
+                    w[1].ratio <= w[0].ratio + 0.02,
+                    "L = {media_len}: non-convergent at n = {}",
+                    w[1].n_slots
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn theorem22_bound_respected_in_region() {
+        for r in compute(&default_configs()) {
+            if analysis::theorem22_applies(r.media_len, r.n_slots) {
+                assert!(
+                    r.ratio <= r.bound + 1e-12,
+                    "L = {}, n = {}",
+                    r.media_len,
+                    r.n_slots
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn online_never_below_offline() {
+        for r in compute(&default_configs()) {
+            assert!(r.ratio >= 1.0 - 1e-12);
+        }
+    }
+}

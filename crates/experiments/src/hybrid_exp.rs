@@ -1,0 +1,189 @@
+//! Extension experiment (the paper's §5 proposal): the hybrid server on
+//! bursty traffic, against both pure policies.
+//!
+//! Traffic is a two-phase MMPP alternating bursts (intensity well above one
+//! arrival per slot) and lulls (well below). A good hybrid should track
+//! pure-DG cost during bursts and pure-dyadic cost during lulls; we sweep
+//! the burst/lull asymmetry and report all three totals.
+
+use crate::parallel::parallel_map;
+use sm_online::batching::batched_dyadic_cost;
+use sm_online::delay_guaranteed::online_full_cost;
+use sm_online::dyadic::DyadicConfig;
+use sm_online::hybrid::{HybridConfig, HybridServer};
+use sm_workload::{ArrivalProcess, BurstyProcess};
+
+/// One sweep point.
+#[derive(Debug, Clone)]
+pub struct HybridRow {
+    /// Fraction of time spent in bursts.
+    pub burst_fraction: f64,
+    /// Arrivals observed.
+    pub arrivals: usize,
+    /// Hybrid server total cost (slot-units).
+    pub hybrid: f64,
+    /// Pure Delay Guaranteed cost.
+    pub pure_dg: f64,
+    /// Pure batched-dyadic cost.
+    pub pure_dyadic: f64,
+    /// Fraction of slots the hybrid served in DG mode.
+    pub dg_mode_fraction: f64,
+}
+
+/// Sweep configuration.
+#[derive(Debug, Clone)]
+pub struct HybridSweep {
+    /// Media length in slots.
+    pub media_slots: u64,
+    /// Horizon in slots.
+    pub horizon_slots: u64,
+    /// Burst-time fractions to sweep.
+    pub burst_fractions: Vec<f64>,
+    /// Mean gap during bursts (slots).
+    pub burst_gap: f64,
+    /// Mean gap during lulls (slots).
+    pub lull_gap: f64,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for HybridSweep {
+    fn default() -> Self {
+        Self {
+            media_slots: 100,
+            horizon_slots: 4_000,
+            burst_fractions: vec![0.0, 0.1, 0.25, 0.5, 0.75, 0.9, 1.0],
+            burst_gap: 0.25,
+            lull_gap: 25.0,
+            seed: 42,
+        }
+    }
+}
+
+/// Runs the sweep.
+pub fn compute(cfg: &HybridSweep) -> Vec<HybridRow> {
+    parallel_map(&cfg.burst_fractions, |&frac| {
+        let horizon = cfg.horizon_slots as f64;
+        // Phase lengths realizing the requested burst fraction (cycle of
+        // 200 slots).
+        let cycle = 200.0;
+        let arrivals: Vec<f64> = if frac <= 0.0 {
+            BurstyProcess::new(cfg.lull_gap, cfg.lull_gap, cycle, cycle, cfg.seed)
+                .generate(horizon)
+        } else if frac >= 1.0 {
+            BurstyProcess::new(cfg.burst_gap, cfg.burst_gap, cycle, cycle, cfg.seed)
+                .generate(horizon)
+        } else {
+            BurstyProcess::new(
+                cfg.burst_gap,
+                cfg.lull_gap,
+                cycle * frac,
+                cycle * (1.0 - frac),
+                cfg.seed,
+            )
+            .generate(horizon)
+        };
+
+        // Hybrid: feed slot by slot.
+        let mut server = HybridServer::new(cfg.media_slots, HybridConfig::default());
+        let mut idx = 0usize;
+        let mut dg_slots = 0u64;
+        for slot in 0..cfg.horizon_slots {
+            let hi = (slot + 1) as f64;
+            let lo = slot as f64;
+            let mut in_slot = Vec::new();
+            while idx < arrivals.len() && arrivals[idx] <= hi {
+                if arrivals[idx] > lo {
+                    in_slot.push(arrivals[idx]);
+                }
+                idx += 1;
+            }
+            if server.feed_slot(&in_slot) == sm_online::hybrid::Mode::DelayGuaranteed {
+                dg_slots += 1;
+            }
+        }
+
+        HybridRow {
+            burst_fraction: frac,
+            arrivals: arrivals.len(),
+            hybrid: server.total_cost(),
+            pure_dg: online_full_cost(cfg.media_slots, cfg.horizon_slots) as f64,
+            pure_dyadic: batched_dyadic_cost(
+                DyadicConfig::golden_poisson(),
+                &arrivals,
+                1.0,
+                cfg.media_slots as f64,
+            ),
+            dg_mode_fraction: dg_slots as f64 / cfg.horizon_slots as f64,
+        }
+    })
+}
+
+/// Table rows for rendering/CSV.
+pub fn to_rows(rows: &[HybridRow]) -> Vec<Vec<String>> {
+    rows.iter()
+        .map(|r| {
+            vec![
+                format!("{:.2}", r.burst_fraction),
+                r.arrivals.to_string(),
+                format!("{:.0}", r.hybrid),
+                format!("{:.0}", r.pure_dg),
+                format!("{:.0}", r.pure_dyadic),
+                format!("{:.2}", r.dg_mode_fraction),
+            ]
+        })
+        .collect()
+}
+
+/// Column headers matching [`to_rows`].
+pub const HEADERS: [&str; 6] = [
+    "burst_frac",
+    "arrivals",
+    "hybrid",
+    "pure_dg",
+    "pure_dyadic",
+    "dg_mode_frac",
+];
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small() -> HybridSweep {
+        HybridSweep {
+            horizon_slots: 1_500,
+            burst_fractions: vec![0.0, 0.5, 1.0],
+            ..HybridSweep::default()
+        }
+    }
+
+    #[test]
+    fn mode_fraction_tracks_burst_fraction() {
+        let rows = compute(&small());
+        assert!(rows[0].dg_mode_fraction < 0.1, "{:?}", rows[0]);
+        assert!(rows[2].dg_mode_fraction > 0.9, "{:?}", rows[2]);
+        assert!(
+            rows[1].dg_mode_fraction > rows[0].dg_mode_fraction
+                && rows[1].dg_mode_fraction < rows[2].dg_mode_fraction
+        );
+    }
+
+    #[test]
+    fn hybrid_never_much_worse_than_best_pure_policy() {
+        for r in compute(&small()) {
+            let best = r.pure_dg.min(r.pure_dyadic);
+            assert!(
+                r.hybrid <= 1.35 * best + 200.0,
+                "burst_frac {}: hybrid {} vs best pure {best}",
+                r.burst_fraction,
+                r.hybrid
+            );
+        }
+    }
+
+    #[test]
+    fn hybrid_beats_pure_dg_on_idle_traffic() {
+        let rows = compute(&small());
+        assert!(rows[0].hybrid < rows[0].pure_dg);
+    }
+}

@@ -1,0 +1,252 @@
+//! Figures 11 and 12: total server bandwidth of the immediate-service
+//! dyadic, batched dyadic and Delay Guaranteed on-line algorithms as the
+//! client arrival intensity varies.
+//!
+//! Paper setup (§4.2, "Varying the client arrival intensity"): the
+//! guaranteed start-up delay is 1% of the media length (`L = 100` slots),
+//! simulations run for 100 media lengths, and the mean inter-arrival gap λ
+//! sweeps from near 0% to 5% of the media length. Fig. 11 uses constant-rate
+//! arrivals, Fig. 12 Poisson arrivals (averaged over seeds here).
+//!
+//! Dyadic parameters follow the paper: α = φ with β = F_h/L for
+//! constant-rate and β = 0.5 for Poisson.
+
+use crate::parallel::parallel_map;
+use sm_online::batching::{batched_dyadic_cost, plain_batching_cost};
+use sm_online::delay_guaranteed::online_full_cost;
+use sm_online::dyadic::{dyadic_total_cost, DyadicConfig};
+use sm_workload::{ArrivalProcess, ConstantRate, PoissonProcess, Summary};
+
+/// Which arrival process drives the sweep.
+#[derive(Debug, Clone)]
+pub enum ArrivalKind {
+    /// Fig. 11: fixed inter-arrival gap.
+    ConstantRate,
+    /// Fig. 12: exponential gaps, one run per seed.
+    Poisson {
+        /// Seeds to average over.
+        seeds: Vec<u64>,
+    },
+}
+
+/// Sweep configuration. All times are measured in slots (1 slot = the
+/// guaranteed delay), so the media is `media_slots` long and λ values are
+/// percentages of the media length.
+#[derive(Debug, Clone)]
+pub struct IntensityConfig {
+    /// Media length in slots (the paper's delay = 1% ⇒ 100).
+    pub media_slots: u64,
+    /// Horizon in media lengths (the paper uses 100).
+    pub horizon_media: f64,
+    /// λ grid, as % of the media length.
+    pub lambdas_pct: Vec<f64>,
+}
+
+impl Default for IntensityConfig {
+    fn default() -> Self {
+        Self {
+            media_slots: 100,
+            horizon_media: 100.0,
+            lambdas_pct: vec![
+                0.05, 0.1, 0.2, 0.3, 0.5, 0.75, 1.0, 1.5, 2.0, 3.0, 4.0, 5.0,
+            ],
+        }
+    }
+}
+
+/// One sweep point. Bandwidth figures are in complete-stream equivalents
+/// (total slot-units divided by `L`), the unit of the paper's plots.
+#[derive(Debug, Clone)]
+pub struct IntensityRow {
+    /// λ as % of media length.
+    pub lambda_pct: f64,
+    /// Mean number of arrivals over the horizon.
+    pub arrivals: f64,
+    /// Immediate-service dyadic.
+    pub immediate_dyadic: Summary,
+    /// Batched dyadic (streams only for non-empty windows).
+    pub batched_dyadic: Summary,
+    /// Plain batching (no merging) — context baseline.
+    pub plain_batching: Summary,
+    /// Delay Guaranteed on-line (independent of arrivals).
+    pub delay_guaranteed: f64,
+}
+
+/// Runs the sweep.
+pub fn compute(cfg: &IntensityConfig, kind: &ArrivalKind) -> Vec<IntensityRow> {
+    let media = cfg.media_slots as f64;
+    let horizon_slots = cfg.horizon_media * media;
+    let n_slots = horizon_slots as u64;
+    // The DG algorithm starts a stream every slot regardless of arrivals.
+    let dg_units = online_full_cost(cfg.media_slots, n_slots) as f64;
+    let dg_streams = dg_units / media;
+
+    parallel_map(&cfg.lambdas_pct, |&lambda_pct| {
+        let interval_slots = lambda_pct / 100.0 * media;
+        let (dyadic_cfg, runs): (DyadicConfig, Vec<Vec<f64>>) = match kind {
+            ArrivalKind::ConstantRate => (
+                DyadicConfig::golden_constant_rate(cfg.media_slots),
+                vec![ConstantRate::new(interval_slots).generate(horizon_slots)],
+            ),
+            ArrivalKind::Poisson { seeds } => (
+                DyadicConfig::golden_poisson(),
+                seeds
+                    .iter()
+                    .map(|&s| PoissonProcess::new(interval_slots, s).generate(horizon_slots))
+                    .collect(),
+            ),
+        };
+        let mut immediate = Vec::with_capacity(runs.len());
+        let mut batched = Vec::with_capacity(runs.len());
+        let mut plain = Vec::with_capacity(runs.len());
+        let mut counts = Vec::with_capacity(runs.len());
+        for arrivals in &runs {
+            counts.push(arrivals.len() as f64);
+            immediate.push(dyadic_total_cost(dyadic_cfg, media, arrivals) / media);
+            batched.push(batched_dyadic_cost(dyadic_cfg, arrivals, 1.0, media) / media);
+            plain.push(plain_batching_cost(arrivals, 1.0, media) / media);
+        }
+        IntensityRow {
+            lambda_pct,
+            arrivals: Summary::of(&counts).mean,
+            immediate_dyadic: Summary::of(&immediate),
+            batched_dyadic: Summary::of(&batched),
+            plain_batching: Summary::of(&plain),
+            delay_guaranteed: dg_streams,
+        }
+    })
+}
+
+/// Table rows for rendering/CSV.
+pub fn to_rows(rows: &[IntensityRow]) -> Vec<Vec<String>> {
+    rows.iter()
+        .map(|r| {
+            vec![
+                format!("{:.2}", r.lambda_pct),
+                format!("{:.0}", r.arrivals),
+                format!("{:.1}", r.immediate_dyadic.mean),
+                format!("{:.1}", r.batched_dyadic.mean),
+                format!("{:.1}", r.plain_batching.mean),
+                format!("{:.1}", r.delay_guaranteed),
+            ]
+        })
+        .collect()
+}
+
+/// Column headers matching [`to_rows`].
+pub const HEADERS: [&str; 6] = [
+    "lambda_pct",
+    "arrivals",
+    "immediate_dyadic",
+    "batched_dyadic",
+    "plain_batching",
+    "delay_guaranteed",
+];
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small_cfg() -> IntensityConfig {
+        IntensityConfig {
+            media_slots: 100,
+            horizon_media: 20.0,
+            lambdas_pct: vec![0.1, 0.5, 1.0, 2.0, 5.0],
+        }
+    }
+
+    #[test]
+    fn delay_guaranteed_is_flat_across_intensities() {
+        let rows = compute(&small_cfg(), &ArrivalKind::ConstantRate);
+        let dg0 = rows[0].delay_guaranteed;
+        for r in &rows {
+            assert_eq!(r.delay_guaranteed, dg0);
+        }
+    }
+
+    #[test]
+    fn crossover_near_lambda_equal_delay_constant_rate() {
+        // §4.2: DG wins when λ < delay (here 1% of the media), loses when
+        // λ > delay.
+        let rows = compute(&small_cfg(), &ArrivalKind::ConstantRate);
+        let high_intensity = &rows[0]; // λ = 0.1% << 1%
+        assert!(
+            high_intensity.delay_guaranteed < high_intensity.immediate_dyadic.mean,
+            "DG should beat immediate dyadic at high intensity"
+        );
+        assert!(
+            high_intensity.delay_guaranteed <= high_intensity.batched_dyadic.mean,
+            "DG should (weakly) beat batched dyadic at high intensity"
+        );
+        let low_intensity = rows.last().unwrap(); // λ = 5% >> 1%
+        assert!(
+            low_intensity.delay_guaranteed > low_intensity.batched_dyadic.mean,
+            "DG should lose to batched dyadic at low intensity"
+        );
+    }
+
+    #[test]
+    fn immediate_and_batched_converge_at_low_intensity() {
+        // §4.2: for λ greater than the delay, batching ~ immediate service.
+        let rows = compute(&small_cfg(), &ArrivalKind::ConstantRate);
+        let low = rows.last().unwrap();
+        let rel = (low.immediate_dyadic.mean - low.batched_dyadic.mean).abs()
+            / low.immediate_dyadic.mean;
+        assert!(rel < 0.25, "relative gap {rel}");
+    }
+
+    #[test]
+    fn batched_dyadic_beats_plain_batching() {
+        for kind in [
+            ArrivalKind::ConstantRate,
+            ArrivalKind::Poisson {
+                seeds: vec![1, 2, 3],
+            },
+        ] {
+            let rows = compute(&small_cfg(), &kind);
+            for r in &rows {
+                assert!(
+                    r.batched_dyadic.mean <= r.plain_batching.mean + 1e-9,
+                    "λ = {}%",
+                    r.lambda_pct
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn poisson_runs_have_dispersion_but_same_shape() {
+        let rows = compute(
+            &small_cfg(),
+            &ArrivalKind::Poisson {
+                seeds: vec![11, 22, 33, 44],
+            },
+        );
+        let high = &rows[0];
+        assert!(high.delay_guaranteed < high.immediate_dyadic.mean);
+        // Poisson runs differ per seed.
+        assert!(high.immediate_dyadic.std_dev > 0.0);
+    }
+
+    #[test]
+    fn dg_worse_on_poisson_than_constant_at_crossover() {
+        // §4.2: Poisson leaves some windows empty even for λ < delay, so the
+        // batched-dyadic alternative looks relatively better under Poisson
+        // arrivals near λ = delay.
+        let cfg = small_cfg();
+        let cr = compute(&cfg, &ArrivalKind::ConstantRate);
+        let po = compute(
+            &cfg,
+            &ArrivalKind::Poisson {
+                seeds: vec![5, 6, 7],
+            },
+        );
+        let idx = cfg.lambdas_pct.iter().position(|&l| l == 1.0).unwrap();
+        let margin_cr = cr[idx].batched_dyadic.mean - cr[idx].delay_guaranteed;
+        let margin_po = po[idx].batched_dyadic.mean - po[idx].delay_guaranteed;
+        assert!(
+            margin_po < margin_cr,
+            "batched dyadic should close the gap under Poisson: {margin_po} vs {margin_cr}"
+        );
+    }
+}

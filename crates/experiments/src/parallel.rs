@@ -1,0 +1,73 @@
+//! Parallel sweep execution.
+//!
+//! Experiment sweeps are embarrassingly parallel across their points;
+//! crossbeam scoped threads pull indices off a shared atomic counter and
+//! write results through a `parking_lot` mutex — no `unsafe`, no cloning of
+//! inputs, results returned in input order.
+
+use parking_lot::Mutex;
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// Applies `f` to every item, using up to `available_parallelism` threads.
+/// Results are returned in input order. Falls back to sequential execution
+/// for tiny inputs.
+pub fn parallel_map<T, R, F>(items: &[T], f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(&T) -> R + Sync,
+{
+    let threads = std::thread::available_parallelism()
+        .map(|p| p.get())
+        .unwrap_or(2)
+        .min(items.len().max(1));
+    if threads <= 1 || items.len() <= 1 {
+        return items.iter().map(&f).collect();
+    }
+    let next = AtomicUsize::new(0);
+    let slots: Vec<Mutex<Option<R>>> = items.iter().map(|_| Mutex::new(None)).collect();
+    crossbeam::thread::scope(|scope| {
+        for _ in 0..threads {
+            scope.spawn(|_| loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                if i >= items.len() {
+                    break;
+                }
+                let r = f(&items[i]);
+                *slots[i].lock() = Some(r);
+            });
+        }
+    })
+    .expect("sweep worker panicked");
+    slots
+        .into_iter()
+        .map(|m| m.into_inner().expect("every slot filled"))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn preserves_order() {
+        let items: Vec<u64> = (0..1000).collect();
+        let out = parallel_map(&items, |&x| x * x);
+        for (i, &v) in out.iter().enumerate() {
+            assert_eq!(v, (i * i) as u64);
+        }
+    }
+
+    #[test]
+    fn works_on_small_inputs() {
+        assert_eq!(parallel_map(&[] as &[u32], |&x| x), Vec::<u32>::new());
+        assert_eq!(parallel_map(&[7u32], |&x| x + 1), vec![8]);
+    }
+
+    #[test]
+    fn handles_non_copy_results() {
+        let items = vec!["a", "bb", "ccc"];
+        let out = parallel_map(&items, |s| s.to_string());
+        assert_eq!(out, vec!["a", "bb", "ccc"]);
+    }
+}

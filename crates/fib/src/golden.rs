@@ -1,0 +1,83 @@
+//! Golden-ratio asymptotics.
+//!
+//! The paper's Theorems 8 and 13 state `M(n) = n·log_φ n + Θ(n)` and
+//! `F(L,n) = n·log_φ L + Θ(n)`; Theorems 19/20 state the receive-two vs
+//! receive-all gap `log_φ 2 ≈ 1.44`. These helpers provide the continuous
+//! side of those statements for tests and experiment annotations.
+
+/// The golden ratio `φ = (1 + √5)/2`, the positive root of `x² = x + 1`.
+pub const PHI: f64 = 1.618033988749894848204586834365638118_f64;
+
+/// The conjugate root `φ̂ = (1 − √5)/2 ≈ −0.618`.
+pub const PHI_HAT: f64 = -0.618_033_988_749_894_9_f64;
+
+/// `√5`.
+pub const SQRT5: f64 = 2.236067977499789696409173668731276235_f64;
+
+/// `log_φ x = ln x / ln φ`.
+///
+/// # Panics
+/// Panics if `x <= 0`.
+pub fn log_phi(x: f64) -> f64 {
+    assert!(x > 0.0, "log_phi requires a positive argument, got {x}");
+    x.ln() / PHI.ln()
+}
+
+/// Binet's closed form `F_k = (φ^k − φ̂^k)/√5`, rounded to the nearest
+/// integer (exact for every `k` in the `u64` range).
+pub fn binet_approx(k: usize) -> u64 {
+    let k = k as f64;
+    ((PHI.powf(k) - PHI_HAT.powf(k)) / SQRT5).round() as u64
+}
+
+/// The limit ratio of Theorems 19/20: `log_φ 2 ≈ 1.4404`.
+pub fn receive_two_over_receive_all_limit() -> f64 {
+    log_phi(2.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::seq::fib;
+
+    #[test]
+    fn phi_solves_its_equation() {
+        assert!((PHI * PHI - PHI - 1.0).abs() < 1e-15);
+        assert!((PHI_HAT * PHI_HAT - PHI_HAT - 1.0).abs() < 1e-15);
+    }
+
+    #[test]
+    fn binet_is_exact_for_moderate_indices() {
+        for k in 0..=70 {
+            assert_eq!(binet_approx(k), fib(k), "k = {k}");
+        }
+    }
+
+    #[test]
+    fn log_phi_of_phi_is_one() {
+        assert!((log_phi(PHI) - 1.0).abs() < 1e-12);
+        assert!((log_phi(1.0)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn limit_ratio_value() {
+        let r = receive_two_over_receive_all_limit();
+        assert!((r - 1.4404).abs() < 1e-3, "got {r}");
+    }
+
+    #[test]
+    #[should_panic]
+    fn log_phi_rejects_nonpositive() {
+        let _ = log_phi(0.0);
+    }
+
+    #[test]
+    fn index_sandwich_of_theorem8() {
+        // log_φ(F_k) + 1 <= k <= log_φ(F_k) + 2 for k >= 2 (paper, proof of Thm 8).
+        for k in 3..=80 {
+            let lf = log_phi(fib(k) as f64);
+            assert!(lf + 1.0 <= k as f64 + 1e-9, "k = {k}");
+            assert!(k as f64 <= lf + 2.0 + 1e-9, "k = {k}");
+        }
+    }
+}

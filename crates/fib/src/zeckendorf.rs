@@ -1,0 +1,107 @@
+//! Zeckendorf representation: every positive integer is uniquely a sum of
+//! non-consecutive Fibonacci numbers (`n = Σ F_{k_i}`, `k_{i+1} ≥ k_i + 2`,
+//! `k_i ≥ 2`).
+//!
+//! The stream-merging closed forms repeatedly peel the leading Fibonacci term
+//! off `n` (the paper's `n = F_k + m` decomposition); the Zeckendorf expansion
+//! is the full unrolling of that process, and the property tests in
+//! `sm-offline` use it to cross-check the decomposition logic.
+
+use crate::seq::FibTable;
+
+/// Greedy Zeckendorf decomposition of `n ≥ 1`.
+///
+/// Returns the Fibonacci *indices*, strictly decreasing, each ≥ 2, with no
+/// two consecutive.
+///
+/// # Panics
+/// Panics if `n == 0`.
+pub fn zeckendorf(n: u64) -> Vec<usize> {
+    assert!(n >= 1, "Zeckendorf representation is defined for n >= 1");
+    let table = FibTable::new();
+    ZeckendorfIter {
+        table,
+        remaining: n,
+    }
+    .collect()
+}
+
+/// Iterator form of [`zeckendorf`], yielding indices lazily.
+#[derive(Debug, Clone)]
+pub struct ZeckendorfIter {
+    table: FibTable,
+    remaining: u64,
+}
+
+impl ZeckendorfIter {
+    /// Starts a decomposition of `n` (which may be 0, yielding nothing).
+    pub fn new(n: u64) -> Self {
+        Self {
+            table: FibTable::new(),
+            remaining: n,
+        }
+    }
+}
+
+impl Iterator for ZeckendorfIter {
+    type Item = usize;
+
+    fn next(&mut self) -> Option<usize> {
+        if self.remaining == 0 {
+            return None;
+        }
+        let k = self.table.largest_index_le(self.remaining);
+        self.remaining -= self.table.get(k);
+        Some(k)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::seq::fib;
+
+    fn reconstruct(indices: &[usize]) -> u64 {
+        indices.iter().map(|&k| fib(k)).sum()
+    }
+
+    #[test]
+    fn small_cases() {
+        assert_eq!(zeckendorf(1), vec![2]);
+        assert_eq!(zeckendorf(2), vec![3]);
+        assert_eq!(zeckendorf(3), vec![4]);
+        assert_eq!(zeckendorf(4), vec![4, 2]);
+        assert_eq!(zeckendorf(100), vec![11, 6, 4]); // 89 + 8 + 3
+    }
+
+    #[test]
+    fn reconstructs_and_is_nonadjacent() {
+        for n in 1..=20_000u64 {
+            let z = zeckendorf(n);
+            assert_eq!(reconstruct(&z), n, "n = {n}");
+            for w in z.windows(2) {
+                assert!(w[0] >= w[1] + 2, "adjacent indices for n = {n}: {z:?}");
+                assert!(w[1] >= 2);
+            }
+        }
+    }
+
+    #[test]
+    fn iterator_matches_vec_form() {
+        for n in 1..=500u64 {
+            let via_iter: Vec<usize> = ZeckendorfIter::new(n).collect();
+            assert_eq!(via_iter, zeckendorf(n));
+        }
+    }
+
+    #[test]
+    fn zero_yields_empty_iterator() {
+        assert_eq!(ZeckendorfIter::new(0).count(), 0);
+    }
+
+    #[test]
+    #[should_panic]
+    fn zero_panics_in_eager_form() {
+        let _ = zeckendorf(0);
+    }
+}

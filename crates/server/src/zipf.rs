@@ -1,0 +1,139 @@
+//! Exact inverse-CDF Zipf sampler.
+//!
+//! VoD request popularity is conventionally modeled as Zipf-distributed: the
+//! `i`-th most popular of `n` titles is requested with probability
+//! proportional to `1/i^s`. The sampler precomputes the normalized CDF once
+//! and draws by binary search, so sampling is `O(log n)` with no rejection.
+
+use rand::{Rng, RngExt};
+
+/// A Zipf(`n`, `s`) distribution over ranks `0..n` (rank 0 most popular).
+#[derive(Debug, Clone)]
+pub struct Zipf {
+    /// Cumulative probabilities; `cdf[n−1] == 1.0` exactly (forced).
+    cdf: Vec<f64>,
+}
+
+impl Zipf {
+    /// Builds the distribution for `n ≥ 1` titles with exponent `s ≥ 0`
+    /// (`s = 0` is uniform; classic VoD studies use `s ≈ 0.7..1.0`).
+    ///
+    /// # Panics
+    /// Panics if `n == 0` or `s < 0` or `s` is not finite.
+    pub fn new(n: usize, s: f64) -> Self {
+        assert!(n >= 1, "need at least one title");
+        assert!(s >= 0.0 && s.is_finite(), "exponent must be finite and >= 0");
+        let mut cdf: Vec<f64> = Vec::with_capacity(n);
+        let mut acc = 0.0;
+        for i in 1..=n {
+            acc += (i as f64).powf(-s);
+            cdf.push(acc);
+        }
+        let total = acc;
+        for c in &mut cdf {
+            *c /= total;
+        }
+        // Guard against float rounding at the top end.
+        *cdf.last_mut().expect("n >= 1") = 1.0;
+        Self { cdf }
+    }
+
+    /// Number of ranks.
+    pub fn len(&self) -> usize {
+        self.cdf.len()
+    }
+
+    /// `true` iff there are no ranks (never — construction requires n ≥ 1).
+    pub fn is_empty(&self) -> bool {
+        self.cdf.is_empty()
+    }
+
+    /// Probability mass of rank `i`.
+    pub fn pmf(&self, i: usize) -> f64 {
+        if i == 0 {
+            self.cdf[0]
+        } else {
+            self.cdf[i] - self.cdf[i - 1]
+        }
+    }
+
+    /// Draws a rank.
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> usize {
+        let u: f64 = rng.random();
+        self.cdf.partition_point(|&c| c < u).min(self.cdf.len() - 1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn uniform_when_s_is_zero() {
+        let z = Zipf::new(4, 0.0);
+        for i in 0..4 {
+            assert!((z.pmf(i) - 0.25).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn classic_zipf_one() {
+        // s = 1, n = 3: weights 1, 1/2, 1/3; total 11/6.
+        let z = Zipf::new(3, 1.0);
+        assert!((z.pmf(0) - 6.0 / 11.0).abs() < 1e-12);
+        assert!((z.pmf(1) - 3.0 / 11.0).abs() < 1e-12);
+        assert!((z.pmf(2) - 2.0 / 11.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn pmf_sums_to_one_and_decreases() {
+        let z = Zipf::new(50, 0.8);
+        let total: f64 = (0..50).map(|i| z.pmf(i)).sum();
+        assert!((total - 1.0).abs() < 1e-9);
+        for i in 1..50 {
+            assert!(z.pmf(i) <= z.pmf(i - 1) + 1e-12);
+        }
+    }
+
+    #[test]
+    fn empirical_frequencies_match_pmf() {
+        let z = Zipf::new(10, 1.0);
+        let mut rng = SmallRng::seed_from_u64(7);
+        let draws = 200_000;
+        let mut counts = [0u64; 10];
+        for _ in 0..draws {
+            counts[z.sample(&mut rng)] += 1;
+        }
+        for (i, &c) in counts.iter().enumerate() {
+            let freq = c as f64 / draws as f64;
+            assert!(
+                (freq - z.pmf(i)).abs() < 0.01,
+                "rank {i}: freq {freq} vs pmf {}",
+                z.pmf(i)
+            );
+        }
+    }
+
+    #[test]
+    fn sample_is_always_in_range() {
+        let z = Zipf::new(3, 2.0);
+        let mut rng = SmallRng::seed_from_u64(1);
+        for _ in 0..1000 {
+            assert!(z.sample(&mut rng) < 3);
+        }
+    }
+
+    #[test]
+    #[should_panic]
+    fn zero_titles_rejected() {
+        let _ = Zipf::new(0, 1.0);
+    }
+
+    #[test]
+    #[should_panic]
+    fn negative_exponent_rejected() {
+        let _ = Zipf::new(3, -0.5);
+    }
+}

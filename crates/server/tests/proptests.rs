@@ -1,0 +1,79 @@
+//! Property-based tests for the multi-object server substrate.
+
+use proptest::prelude::*;
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+use sm_server::{plan_weighted, simulate_requests, Catalog, Title, Zipf};
+
+fn arb_catalog() -> impl Strategy<Value = Catalog> {
+    proptest::collection::vec((30.0f64..=180.0, 0.1f64..=10.0), 1..=4).prop_map(|specs| {
+        Catalog::new(
+            specs
+                .into_iter()
+                .enumerate()
+                .map(|(i, (dur, w))| Title {
+                    name: format!("t{i}"),
+                    duration_minutes: dur,
+                    weight: w,
+                })
+                .collect(),
+        )
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// The Zipf CDF is a proper distribution and sampling stays in range.
+    #[test]
+    fn zipf_is_a_distribution(n in 1usize..=64, s in 0.0f64..=2.5, seed in 0u64..1000) {
+        let z = Zipf::new(n, s);
+        let total: f64 = (0..n).map(|i| z.pmf(i)).sum();
+        prop_assert!((total - 1.0).abs() < 1e-9);
+        let mut rng = SmallRng::seed_from_u64(seed);
+        for _ in 0..50 {
+            prop_assert!(z.sample(&mut rng) < n);
+        }
+    }
+
+    /// Plans always fit their budget, and a larger budget never yields a
+    /// worse expected delay.
+    #[test]
+    fn plans_fit_budget_and_are_monotone(catalog in arb_catalog()) {
+        let cands = [1.0, 2.0, 4.0, 8.0, 16.0];
+        let unconstrained = plan_weighted(&catalog, u64::MAX, &cands).unwrap();
+        let tightest = plan_weighted(&catalog, 0, &cands);
+        prop_assert!(tightest.is_none() || tightest.unwrap().total_peak == 0);
+
+        let full = unconstrained.total_peak;
+        // Iterating budgets downwards: expected delay must be non-decreasing.
+        let mut last_delay = 0.0f64;
+        for budget in [full, full * 3 / 4, full / 2, full / 4] {
+            if let Some(plan) = plan_weighted(&catalog, budget, &cands) {
+                prop_assert!(plan.total_peak <= budget);
+                prop_assert!(plan.expected_delay + 1e-9 >= last_delay);
+                last_delay = plan.expected_delay;
+                // Per-title delays come from the candidate menu.
+                for d in &plan.delays_minutes {
+                    prop_assert!(cands.contains(d));
+                }
+            }
+        }
+    }
+
+    /// Request simulation never declines, bounds every wait by that title's
+    /// planned delay, and conserves the request count.
+    #[test]
+    fn requests_never_declined_waits_bounded(
+        catalog in arb_catalog(),
+        seed in 0u64..1000,
+    ) {
+        let cands = [2.0, 5.0];
+        let plan = plan_weighted(&catalog, u64::MAX, &cands).unwrap();
+        let report = simulate_requests(&catalog, &plan, 300.0, 1.0, seed);
+        prop_assert_eq!(report.declined, 0);
+        prop_assert_eq!(report.per_title.iter().sum::<u64>(), report.served);
+        let max_planned = plan.delays_minutes.iter().fold(0.0f64, |a, &b| a.max(b));
+        prop_assert!(report.max_wait <= max_planned + 1e-9);
+    }
+}

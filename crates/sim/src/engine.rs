@@ -1,0 +1,320 @@
+//! The slot-stepped execution engine.
+//!
+//! [`simulate`] replays every client's receiving program against the
+//! concrete broadcast schedule and fails with the *first* violation —
+//! stall, receive-two breach, buffer overflow, or a program/schedule
+//! mismatch. On success it returns independently measured metrics that the
+//! integration tests compare against the paper's closed forms.
+
+use crate::error::SimError;
+use crate::metrics::BandwidthProfile;
+use crate::schedule::{stream_schedule, StreamSpec};
+use sm_core::{MergeForest, ReceivingProgram};
+
+/// Execution options.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct SimConfig {
+    /// Fail if a client would need more than this many buffered parts.
+    pub buffer_bound: Option<u64>,
+}
+
+/// Per-client measurements.
+#[derive(Debug, Clone)]
+pub struct ClientReport {
+    /// Global arrival index.
+    pub client: usize,
+    /// Peak number of parts held in the buffer.
+    pub max_buffer: i64,
+    /// Peak number of simultaneously received streams.
+    pub max_concurrent: usize,
+    /// Slack (in slots) between each part's arrival and its playback,
+    /// minimised over parts: 0 means some part arrives just in time.
+    pub min_slack: i64,
+}
+
+/// Whole-run measurements.
+#[derive(Debug, Clone)]
+pub struct SimReport {
+    /// Per-slot server bandwidth.
+    pub bandwidth: BandwidthProfile,
+    /// Total transmitted slot-units (must equal the analytic `Fcost`).
+    pub total_units: i64,
+    /// Per-client reports, by global arrival index.
+    pub clients: Vec<ClientReport>,
+}
+
+/// Simulates with default configuration.
+pub fn simulate(
+    forest: &MergeForest,
+    times: &[i64],
+    media_len: u64,
+) -> Result<SimReport, SimError> {
+    simulate_with(forest, times, media_len, SimConfig::default())
+}
+
+/// Simulates a merge forest over slotted arrivals.
+///
+/// Every client of every tree is executed: its receiving program is built
+/// from the tree structure, then *checked against the broadcast schedule*
+/// (the schedule knows only stream lengths; the program knows only the
+/// tree path — agreement is the Lemma 1 ↔ §2 consistency the paper relies
+/// on).
+pub fn simulate_with(
+    forest: &MergeForest,
+    times: &[i64],
+    media_len: u64,
+    config: SimConfig,
+) -> Result<SimReport, SimError> {
+    if times.len() != forest.total_arrivals() {
+        return Err(SimError::Model(sm_core::ModelError::TimesLengthMismatch {
+            nodes: forest.total_arrivals(),
+            times: times.len(),
+        }));
+    }
+    let specs = stream_schedule(forest, times, media_len);
+    let bandwidth = BandwidthProfile::from_streams(&specs);
+    let total_units: i64 = specs.iter().map(|s| s.length).sum();
+
+    let mut clients = Vec::with_capacity(times.len());
+    for (range, tree) in forest.iter_with_ranges() {
+        let base = range.start;
+        let local_times = &times[range.clone()];
+        let local_specs = &specs[range.clone()];
+        for c in 0..tree.len() {
+            let report = run_client(
+                tree,
+                local_times,
+                local_specs,
+                media_len,
+                base,
+                c,
+                config,
+            )?;
+            clients.push(report);
+        }
+    }
+    Ok(SimReport {
+        bandwidth,
+        total_units,
+        clients,
+    })
+}
+
+fn run_client(
+    tree: &sm_core::MergeTree,
+    local_times: &[i64],
+    local_specs: &[StreamSpec],
+    media_len: u64,
+    base: usize,
+    c: usize,
+    config: SimConfig,
+) -> Result<ClientReport, SimError> {
+    let media = media_len as i64;
+    let t_c = local_times[c];
+    let global = base + c;
+    let prog = ReceivingProgram::build(tree, local_times, media_len, c);
+    prog.verify(local_times, media_len)
+        .map_err(SimError::Model)?;
+
+    // receive_end[q]: instant part q is fully received (from the schedule).
+    let mut receive_end = vec![i64::MAX; (media + 1) as usize];
+    // Reception concurrency per slot offset (program spans [t_c, t_c+media)).
+    let mut concurrency = vec![0usize; media as usize + 1];
+    for seg in &prog.segments {
+        if seg.is_empty() {
+            continue;
+        }
+        let spec = &local_specs[seg.stream];
+        for part in seg.first_part..=seg.last_part {
+            // The stream must actually broadcast the part.
+            let Some(slot) = spec.broadcast_slot(part) else {
+                return Err(SimError::StreamTooShort {
+                    client: global,
+                    stream: base + seg.stream,
+                    part,
+                    length: spec.length,
+                });
+            };
+            // Playback deadline: part q plays during [t_c+q−1, t_c+q); it
+            // must be broadcast no later than that same slot.
+            let deadline = t_c + part - 1;
+            if slot > deadline {
+                return Err(SimError::Stall {
+                    client: global,
+                    part,
+                    received: slot,
+                    deadline,
+                });
+            }
+            receive_end[part as usize] = slot + 1;
+            let off = (slot - t_c).clamp(0, media) as usize;
+            concurrency[off] += 1;
+        }
+    }
+
+    // Receive-two: in any slot, parts arrive from at most two distinct
+    // streams; because each stream contributes at most one part per slot,
+    // per-slot part count == per-slot stream count.
+    let mut max_concurrent = 0usize;
+    for (off, &cnt) in concurrency.iter().enumerate() {
+        if cnt > 2 {
+            return Err(SimError::ReceiveTwoViolation {
+                client: global,
+                slot: t_c + off as i64,
+                count: cnt,
+            });
+        }
+        max_concurrent = max_concurrent.max(cnt);
+    }
+
+    // Buffer occupancy sweep and minimum slack.
+    let mut max_buffer = 0i64;
+    let mut min_slack = i64::MAX;
+    for q in 1..=media {
+        let deadline_end = t_c + q; // playback slot ends here
+        let slack = deadline_end - receive_end[q as usize];
+        min_slack = min_slack.min(slack);
+    }
+    for tau in t_c..=(t_c + media) {
+        let received = (1..=media)
+            .filter(|&q| receive_end[q as usize] <= tau)
+            .count() as i64;
+        let played = (tau - t_c).clamp(0, media);
+        max_buffer = max_buffer.max(received - played);
+    }
+    if let Some(bound) = config.buffer_bound {
+        if max_buffer > bound as i64 {
+            return Err(SimError::BufferOverflow {
+                client: global,
+                needed: max_buffer,
+                bound,
+            });
+        }
+    }
+    Ok(ClientReport {
+        client: global,
+        max_buffer,
+        max_concurrent,
+        min_slack,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sm_core::{consecutive_slots, full_cost, required_buffer, MergeTree};
+
+    fn fig4_forest() -> MergeForest {
+        MergeForest::single(
+            MergeTree::from_parents(&[
+                None,
+                Some(0),
+                Some(0),
+                Some(0),
+                Some(3),
+                Some(0),
+                Some(5),
+                Some(5),
+            ])
+            .unwrap(),
+        )
+    }
+
+    #[test]
+    fn fig3_executes_cleanly() {
+        let forest = fig4_forest();
+        let times = consecutive_slots(8);
+        let report = simulate(&forest, &times, 15).unwrap();
+        assert_eq!(report.total_units, 36);
+        assert_eq!(report.total_units, full_cost(&forest, &times, 15));
+        assert_eq!(report.clients.len(), 8);
+    }
+
+    #[test]
+    fn measured_buffers_match_lemma15() {
+        let forest = fig4_forest();
+        let times = consecutive_slots(8);
+        let report = simulate(&forest, &times, 15).unwrap();
+        let tree = &forest.trees()[0];
+        for cr in &report.clients {
+            assert_eq!(
+                cr.max_buffer,
+                required_buffer(tree, &times, 15, cr.client),
+                "client {}",
+                cr.client
+            );
+        }
+    }
+
+    #[test]
+    fn no_client_exceeds_two_streams() {
+        let forest = fig4_forest();
+        let times = consecutive_slots(8);
+        let report = simulate(&forest, &times, 15).unwrap();
+        for cr in &report.clients {
+            assert!(cr.max_concurrent <= 2);
+        }
+    }
+
+    #[test]
+    fn stall_detected_when_media_too_short() {
+        // The Fig. 4 shape with L = 8: client 7's program needs parts past
+        // what the root can deliver in time.
+        let forest = fig4_forest();
+        let times = consecutive_slots(8);
+        let err = simulate(&forest, &times, 8).unwrap_err();
+        // Either a coverage failure or a stall, depending on which client
+        // trips first — both are model-consistency failures.
+        match err {
+            SimError::Model(_) | SimError::Stall { .. } | SimError::StreamTooShort { .. } => {}
+            other => panic!("unexpected error {other:?}"),
+        }
+    }
+
+    #[test]
+    fn buffer_bound_enforced() {
+        let forest = fig4_forest();
+        let times = consecutive_slots(8);
+        let err = simulate_with(
+            &forest,
+            &times,
+            15,
+            SimConfig {
+                buffer_bound: Some(3),
+            },
+        )
+        .unwrap_err();
+        assert!(matches!(err, SimError::BufferOverflow { .. }));
+    }
+
+    #[test]
+    fn slack_is_zero_for_just_in_time_parts() {
+        // Clients receive their first parts exactly as they play them.
+        let forest = fig4_forest();
+        let times = consecutive_slots(8);
+        let report = simulate(&forest, &times, 15).unwrap();
+        for cr in &report.clients {
+            assert_eq!(cr.min_slack, 0, "client {}", cr.client);
+        }
+    }
+
+    #[test]
+    fn bandwidth_profile_peaks_match_fig3() {
+        let forest = fig4_forest();
+        let times = consecutive_slots(8);
+        let report = simulate(&forest, &times, 15).unwrap();
+        // At slot 7 streams A, D(3..8), F(5..14), H(7..9) are live -> 4
+        // concurrent; G lives only in slot 6..7.
+        assert!(report.bandwidth.peak() >= 4);
+        assert_eq!(report.bandwidth.total_units(), 36);
+    }
+
+    #[test]
+    fn multi_tree_forest_simulates() {
+        let t = MergeTree::from_parents(&[None, Some(0), Some(0)]).unwrap();
+        let forest = MergeForest::from_trees(vec![t.clone(), t]).unwrap();
+        let times = consecutive_slots(6);
+        let report = simulate(&forest, &times, 10).unwrap();
+        assert_eq!(report.total_units, 2 * 10 + 3 + 3);
+    }
+}

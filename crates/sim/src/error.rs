@@ -1,0 +1,117 @@
+//! Simulator failure modes.
+
+use std::fmt;
+
+/// Everything that can go wrong while executing a schedule.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SimError {
+    /// The forest/times/media combination is malformed at the model level.
+    Model(sm_core::ModelError),
+    /// A client's program asks stream `stream` for part `part`, but the
+    /// stream is only `length` parts long — the broadcast schedule and the
+    /// receiving program disagree.
+    StreamTooShort {
+        client: usize,
+        stream: usize,
+        part: i64,
+        length: i64,
+    },
+    /// Part `part` reaches client `client` in slot `received`, after its
+    /// playback slot `deadline` — a playback stall.
+    Stall {
+        client: usize,
+        part: i64,
+        received: i64,
+        deadline: i64,
+    },
+    /// Client `client` would receive `count` streams simultaneously in slot
+    /// `slot` (receive-two allows 2).
+    ReceiveTwoViolation {
+        client: usize,
+        slot: i64,
+        count: usize,
+    },
+    /// Client `client` needs `needed` buffered parts, over the bound.
+    BufferOverflow {
+        client: usize,
+        needed: i64,
+        bound: u64,
+    },
+}
+
+impl fmt::Display for SimError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::Model(e) => write!(f, "model error: {e}"),
+            Self::StreamTooShort {
+                client,
+                stream,
+                part,
+                length,
+            } => write!(
+                f,
+                "client {client} needs part {part} from stream {stream}, which has only {length} parts"
+            ),
+            Self::Stall {
+                client,
+                part,
+                received,
+                deadline,
+            } => write!(
+                f,
+                "client {client} stalls: part {part} arrives in slot {received}, playback slot is {deadline}"
+            ),
+            Self::ReceiveTwoViolation {
+                client,
+                slot,
+                count,
+            } => write!(
+                f,
+                "client {client} would receive {count} streams in slot {slot}"
+            ),
+            Self::BufferOverflow {
+                client,
+                needed,
+                bound,
+            } => write!(
+                f,
+                "client {client} needs {needed} buffered parts, bound is {bound}"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for SimError {}
+
+impl From<sm_core::ModelError> for SimError {
+    fn from(e: sm_core::ModelError) -> Self {
+        Self::Model(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn displays_are_informative() {
+        let errs: Vec<SimError> = vec![
+            SimError::Model(sm_core::ModelError::EmptyTree),
+            SimError::Stall {
+                client: 3,
+                part: 7,
+                received: 12,
+                deadline: 9,
+            },
+            SimError::StreamTooShort {
+                client: 1,
+                stream: 0,
+                part: 16,
+                length: 15,
+            },
+        ];
+        for e in errs {
+            assert!(!e.to_string().is_empty());
+        }
+    }
+}

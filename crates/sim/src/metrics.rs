@@ -1,0 +1,117 @@
+//! Server bandwidth metering.
+
+use crate::schedule::StreamSpec;
+
+/// Per-slot count of concurrently transmitting streams.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BandwidthProfile {
+    /// First slot covered.
+    pub origin: i64,
+    /// `counts[i]` = streams live during slot `origin + i`.
+    pub counts: Vec<u32>,
+}
+
+impl BandwidthProfile {
+    /// Sweeps the schedule into a per-slot profile.
+    pub fn from_streams(specs: &[StreamSpec]) -> Self {
+        if specs.is_empty() {
+            return Self {
+                origin: 0,
+                counts: Vec::new(),
+            };
+        }
+        let origin = specs.iter().map(|s| s.start).min().unwrap();
+        let end = specs.iter().map(StreamSpec::end).max().unwrap();
+        let mut delta = vec![0i32; (end - origin + 1) as usize];
+        for s in specs {
+            if s.length <= 0 {
+                continue;
+            }
+            delta[(s.start - origin) as usize] += 1;
+            delta[(s.end() - origin) as usize] -= 1;
+        }
+        let mut counts = Vec::with_capacity(delta.len().saturating_sub(1));
+        let mut cur = 0i32;
+        for d in &delta[..delta.len() - 1] {
+            cur += d;
+            counts.push(cur as u32);
+        }
+        Self { origin, counts }
+    }
+
+    /// Peak concurrent streams (the "maximum bandwidth" of §5's discussion).
+    pub fn peak(&self) -> u32 {
+        self.counts.iter().copied().max().unwrap_or(0)
+    }
+
+    /// Total transmitted slot-units (`= Fcost`).
+    pub fn total_units(&self) -> i64 {
+        self.counts.iter().map(|&c| c as i64).sum()
+    }
+
+    /// Average bandwidth over the active horizon, in streams.
+    pub fn average(&self) -> f64 {
+        if self.counts.is_empty() {
+            return 0.0;
+        }
+        self.total_units() as f64 / self.counts.len() as f64
+    }
+
+    /// Bandwidth during a specific slot.
+    pub fn at(&self, slot: i64) -> u32 {
+        if slot < self.origin {
+            return 0;
+        }
+        self.counts
+            .get((slot - self.origin) as usize)
+            .copied()
+            .unwrap_or(0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn spec(node: usize, start: i64, length: i64) -> StreamSpec {
+        StreamSpec {
+            node,
+            start,
+            length,
+        }
+    }
+
+    #[test]
+    fn empty_profile() {
+        let p = BandwidthProfile::from_streams(&[]);
+        assert_eq!(p.peak(), 0);
+        assert_eq!(p.total_units(), 0);
+        assert_eq!(p.average(), 0.0);
+    }
+
+    #[test]
+    fn single_stream() {
+        let p = BandwidthProfile::from_streams(&[spec(0, 3, 4)]);
+        assert_eq!(p.origin, 3);
+        assert_eq!(p.counts, vec![1, 1, 1, 1]);
+        assert_eq!(p.peak(), 1);
+        assert_eq!(p.total_units(), 4);
+        assert_eq!(p.at(3), 1);
+        assert_eq!(p.at(7), 0);
+        assert_eq!(p.at(0), 0);
+    }
+
+    #[test]
+    fn overlapping_streams() {
+        let p = BandwidthProfile::from_streams(&[spec(0, 0, 5), spec(1, 2, 2), spec(2, 4, 3)]);
+        assert_eq!(p.counts, vec![1, 1, 2, 2, 2, 1, 1]);
+        assert_eq!(p.peak(), 2);
+        assert_eq!(p.total_units(), 10);
+    }
+
+    #[test]
+    fn zero_length_streams_ignored() {
+        let p = BandwidthProfile::from_streams(&[spec(0, 0, 3), spec(1, 1, 0)]);
+        assert_eq!(p.total_units(), 3);
+    }
+}

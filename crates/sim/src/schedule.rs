@@ -1,0 +1,104 @@
+//! Concrete broadcast schedules: the Fig.-3 view of a merge forest.
+
+use sm_core::{cost, MergeForest};
+
+/// One scheduled stream: starts at slot `start`, broadcasts parts
+/// `1..=length` in consecutive slots (part `q` during `[start+q−1, start+q)`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StreamSpec {
+    /// Global arrival index that initiated the stream.
+    pub node: usize,
+    /// Start slot.
+    pub start: i64,
+    /// Number of parts broadcast (truncated length; `L` for roots).
+    pub length: i64,
+}
+
+impl StreamSpec {
+    /// Slot in which `part` is broadcast, if the stream carries it.
+    pub fn broadcast_slot(&self, part: i64) -> Option<i64> {
+        (1..=self.length).contains(&part).then(|| self.start + part - 1)
+    }
+
+    /// End time of the stream (exclusive).
+    pub fn end(&self) -> i64 {
+        self.start + self.length
+    }
+}
+
+/// Derives the full broadcast schedule of a forest: the root of each tree
+/// runs `media_len` parts, every other stream exactly its Lemma-1 length.
+pub fn stream_schedule(forest: &MergeForest, times: &[i64], media_len: u64) -> Vec<StreamSpec> {
+    let mut specs = Vec::with_capacity(times.len());
+    for (range, tree) in forest.iter_with_ranges() {
+        let base = range.start;
+        let local_times = &times[range];
+        let lens = cost::lengths(tree, local_times);
+        for x in 0..tree.len() {
+            let length = if x == 0 { media_len as i64 } else { lens[x] };
+            specs.push(StreamSpec {
+                node: base + x,
+                start: local_times[x],
+                length,
+            });
+        }
+    }
+    specs
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sm_core::{consecutive_slots, MergeTree};
+
+    fn fig4_forest() -> MergeForest {
+        MergeForest::single(
+            MergeTree::from_parents(&[
+                None,
+                Some(0),
+                Some(0),
+                Some(0),
+                Some(3),
+                Some(0),
+                Some(5),
+                Some(5),
+            ])
+            .unwrap(),
+        )
+    }
+
+    #[test]
+    fn fig3_schedule() {
+        let forest = fig4_forest();
+        let times = consecutive_slots(8);
+        let specs = stream_schedule(&forest, &times, 15);
+        let lens: Vec<i64> = specs.iter().map(|s| s.length).collect();
+        // Fig. 3: A runs 15 slots, B 1, C 2, D 5, E 1, F 9, G 1, H 2.
+        assert_eq!(lens, vec![15, 1, 2, 5, 1, 9, 1, 2]);
+        // Stream F starts at 5 and runs to 14.
+        assert_eq!(specs[5].start, 5);
+        assert_eq!(specs[5].end(), 14);
+    }
+
+    #[test]
+    fn broadcast_slots() {
+        let s = StreamSpec {
+            node: 5,
+            start: 5,
+            length: 9,
+        };
+        assert_eq!(s.broadcast_slot(1), Some(5));
+        assert_eq!(s.broadcast_slot(9), Some(13));
+        assert_eq!(s.broadcast_slot(10), None);
+        assert_eq!(s.broadcast_slot(0), None);
+    }
+
+    #[test]
+    fn total_schedule_length_is_full_cost() {
+        let forest = fig4_forest();
+        let times = consecutive_slots(8);
+        let specs = stream_schedule(&forest, &times, 15);
+        let total: i64 = specs.iter().map(|s| s.length).sum();
+        assert_eq!(total, sm_core::full_cost(&forest, &times, 15));
+    }
+}

@@ -1,0 +1,172 @@
+//! Arrival processes.
+
+use rand::rngs::SmallRng;
+use rand::{RngExt, SeedableRng};
+
+/// A process that generates client arrival times over `(0, horizon]`.
+pub trait ArrivalProcess {
+    /// Strictly increasing arrival times within `(0, horizon]`.
+    fn generate(&mut self, horizon: f64) -> Vec<f64>;
+
+    /// Mean inter-arrival gap (the paper's λ).
+    fn mean_interarrival(&self) -> f64;
+}
+
+/// Constant-rate arrivals: one client every `interval` time units, starting
+/// at `interval` (so arrival times are `interval, 2·interval, …`).
+#[derive(Debug, Clone, Copy)]
+pub struct ConstantRate {
+    /// Fixed gap between consecutive arrivals.
+    pub interval: f64,
+}
+
+impl ConstantRate {
+    /// Creates the process.
+    ///
+    /// # Panics
+    /// Panics if `interval <= 0`.
+    pub fn new(interval: f64) -> Self {
+        assert!(interval > 0.0, "inter-arrival interval must be positive");
+        Self { interval }
+    }
+}
+
+impl ArrivalProcess for ConstantRate {
+    fn generate(&mut self, horizon: f64) -> Vec<f64> {
+        let n = (horizon / self.interval).floor() as usize;
+        (1..=n).map(|k| k as f64 * self.interval).collect()
+    }
+
+    fn mean_interarrival(&self) -> f64 {
+        self.interval
+    }
+}
+
+/// Poisson arrivals: i.i.d. exponential gaps with mean `mean_interarrival`,
+/// driven by a seeded [`SmallRng`] for reproducibility.
+#[derive(Debug, Clone)]
+pub struct PoissonProcess {
+    mean: f64,
+    rng: SmallRng,
+}
+
+impl PoissonProcess {
+    /// Creates the process with an explicit seed.
+    ///
+    /// # Panics
+    /// Panics if `mean_interarrival <= 0`.
+    pub fn new(mean_interarrival: f64, seed: u64) -> Self {
+        assert!(mean_interarrival > 0.0, "mean inter-arrival must be positive");
+        Self {
+            mean: mean_interarrival,
+            rng: SmallRng::seed_from_u64(seed),
+        }
+    }
+
+    fn next_gap(&mut self) -> f64 {
+        // Inverse-CDF exponential sampling; 1−u ∈ (0, 1] avoids ln(0).
+        let u: f64 = self.rng.random();
+        -(1.0_f64 - u).ln() * self.mean
+    }
+}
+
+impl ArrivalProcess for PoissonProcess {
+    fn generate(&mut self, horizon: f64) -> Vec<f64> {
+        let mut out = Vec::with_capacity((horizon / self.mean) as usize + 16);
+        let mut t = 0.0;
+        loop {
+            t += self.next_gap();
+            if t > horizon {
+                break;
+            }
+            // Guard against pathological zero gaps at f64 resolution.
+            if let Some(&last) = out.last() {
+                if t <= last {
+                    continue;
+                }
+            }
+            out.push(t);
+        }
+        out
+    }
+
+    fn mean_interarrival(&self) -> f64 {
+        self.mean
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constant_rate_count_and_spacing() {
+        let mut p = ConstantRate::new(0.5);
+        let ts = p.generate(10.0);
+        assert_eq!(ts.len(), 20);
+        assert_eq!(ts[0], 0.5);
+        for w in ts.windows(2) {
+            assert!((w[1] - w[0] - 0.5).abs() < 1e-12);
+        }
+        assert!(*ts.last().unwrap() <= 10.0);
+    }
+
+    #[test]
+    fn constant_rate_is_deterministic() {
+        let a = ConstantRate::new(0.37).generate(50.0);
+        let b = ConstantRate::new(0.37).generate(50.0);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn poisson_is_reproducible_per_seed() {
+        let a = PoissonProcess::new(0.2, 42).generate(100.0);
+        let b = PoissonProcess::new(0.2, 42).generate(100.0);
+        let c = PoissonProcess::new(0.2, 43).generate(100.0);
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn poisson_mean_rate_is_close() {
+        // Over a long horizon the empirical rate concentrates around 1/λ.
+        let mean = 0.05;
+        let horizon = 10_000.0;
+        let ts = PoissonProcess::new(mean, 7).generate(horizon);
+        let expected = horizon / mean;
+        let got = ts.len() as f64;
+        assert!(
+            (got - expected).abs() < 0.05 * expected,
+            "expected ~{expected}, got {got}"
+        );
+    }
+
+    #[test]
+    fn poisson_times_strictly_increasing_and_in_range() {
+        let ts = PoissonProcess::new(0.01, 3).generate(100.0);
+        for w in ts.windows(2) {
+            assert!(w[1] > w[0]);
+        }
+        assert!(ts.iter().all(|&t| t > 0.0 && t <= 100.0));
+    }
+
+    #[test]
+    fn exponential_gaps_have_right_dispersion() {
+        // For an exponential distribution the variance equals the squared
+        // mean; check the coefficient of variation is ~1 (vs 0 for the
+        // constant-rate process).
+        let ts = PoissonProcess::new(0.1, 11).generate(5_000.0);
+        let gaps: Vec<f64> = ts.windows(2).map(|w| w[1] - w[0]).collect();
+        let n = gaps.len() as f64;
+        let mean = gaps.iter().sum::<f64>() / n;
+        let var = gaps.iter().map(|g| (g - mean).powi(2)).sum::<f64>() / n;
+        let cv = var.sqrt() / mean;
+        assert!((cv - 1.0).abs() < 0.1, "cv = {cv}");
+    }
+
+    #[test]
+    #[should_panic]
+    fn zero_interval_rejected() {
+        let _ = ConstantRate::new(0.0);
+    }
+}

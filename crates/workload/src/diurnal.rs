@@ -1,0 +1,166 @@
+//! A diurnal (day-shaped) non-homogeneous Poisson process.
+//!
+//! VoD demand follows a daily cycle: a quiet trough in the early hours and
+//! a prime-time peak in the evening. The §5 discussion — switch policies or
+//! re-provision delays as load changes — is really about this shape, so the
+//! extension experiments need it as a workload. The process is a
+//! non-homogeneous Poisson process with rate
+//!
+//! ```text
+//! λ(t) = base_rate · (1 + swing · sin(2π·(t − phase)/period))
+//! ```
+//!
+//! (`0 ≤ swing < 1`, so the rate stays positive), sampled exactly by
+//! Lewis–Shedler **thinning**: candidate points are drawn from a homogeneous
+//! process at the peak rate `λ_max = base·(1+swing)` and kept with
+//! probability `λ(t)/λ_max`.
+
+use crate::arrivals::ArrivalProcess;
+use rand::rngs::SmallRng;
+use rand::{RngExt, SeedableRng};
+use std::f64::consts::TAU;
+
+/// Sinusoidal-rate Poisson arrivals.
+#[derive(Debug, Clone)]
+pub struct DiurnalProcess {
+    /// Mean arrivals per time unit, averaged over a full period.
+    pub base_rate: f64,
+    /// Relative amplitude of the daily swing, in `[0, 1)`.
+    pub swing: f64,
+    /// Cycle length (e.g. 1440 for minutes-per-day).
+    pub period: f64,
+    /// Phase offset: `λ` peaks a quarter period after `phase`.
+    pub phase: f64,
+    rng: SmallRng,
+}
+
+impl DiurnalProcess {
+    /// Creates the process.
+    ///
+    /// # Panics
+    /// Panics unless `base_rate > 0`, `0 ≤ swing < 1` and `period > 0`.
+    pub fn new(base_rate: f64, swing: f64, period: f64, phase: f64, seed: u64) -> Self {
+        assert!(base_rate > 0.0, "base rate must be positive");
+        assert!((0.0..1.0).contains(&swing), "swing must lie in [0, 1)");
+        assert!(period > 0.0, "period must be positive");
+        Self {
+            base_rate,
+            swing,
+            period,
+            phase,
+            rng: SmallRng::seed_from_u64(seed),
+        }
+    }
+
+    /// Instantaneous rate at time `t`.
+    pub fn rate_at(&self, t: f64) -> f64 {
+        self.base_rate * (1.0 + self.swing * (TAU * (t - self.phase) / self.period).sin())
+    }
+
+    fn exp(&mut self, mean: f64) -> f64 {
+        let u: f64 = self.rng.random();
+        -(1.0_f64 - u).ln() * mean
+    }
+}
+
+impl ArrivalProcess for DiurnalProcess {
+    fn mean_interarrival(&self) -> f64 {
+        // The sinusoid integrates to zero over a period, so the long-run
+        // mean rate is the base rate.
+        1.0 / self.base_rate
+    }
+
+    fn generate(&mut self, horizon: f64) -> Vec<f64> {
+        let rate_max = self.base_rate * (1.0 + self.swing);
+        let mut out = Vec::with_capacity((horizon * self.base_rate) as usize + 16);
+        let mut t = 0.0f64;
+        loop {
+            t += self.exp(1.0 / rate_max);
+            if t > horizon {
+                break;
+            }
+            let keep: f64 = self.rng.random();
+            if keep * rate_max <= self.rate_at(t) {
+                out.push(t);
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn counts_by_phase(arrivals: &[f64], period: f64, bins: usize) -> Vec<usize> {
+        let mut counts = vec![0usize; bins];
+        for &t in arrivals {
+            let frac = (t % period) / period;
+            counts[((frac * bins as f64) as usize).min(bins - 1)] += 1;
+        }
+        counts
+    }
+
+    #[test]
+    fn mean_rate_matches_base_rate() {
+        let mut p = DiurnalProcess::new(2.0, 0.8, 100.0, 0.0, 7);
+        let horizon = 50_000.0;
+        let arrivals = p.generate(horizon);
+        let rate = arrivals.len() as f64 / horizon;
+        assert!((rate - 2.0).abs() < 0.05, "rate {rate}");
+    }
+
+    #[test]
+    fn peak_quarter_sees_more_than_trough_quarter() {
+        let mut p = DiurnalProcess::new(1.0, 0.9, 1000.0, 0.0, 11);
+        let arrivals = p.generate(100_000.0);
+        let counts = counts_by_phase(&arrivals, 1000.0, 4);
+        // sin peaks in the first quarter and troughs in the third.
+        assert!(
+            counts[0] as f64 > 2.0 * counts[2] as f64,
+            "peak {} vs trough {}",
+            counts[0],
+            counts[2]
+        );
+    }
+
+    #[test]
+    fn zero_swing_is_homogeneous_poisson() {
+        let mut p = DiurnalProcess::new(1.5, 0.0, 100.0, 0.0, 3);
+        let arrivals = p.generate(40_000.0);
+        let counts = counts_by_phase(&arrivals, 100.0, 4);
+        let mean = arrivals.len() as f64 / 4.0;
+        for (i, &c) in counts.iter().enumerate() {
+            assert!(
+                (c as f64 - mean).abs() < 0.05 * mean,
+                "bin {i}: {c} vs {mean}"
+            );
+        }
+    }
+
+    #[test]
+    fn reproducible_by_seed_and_strictly_increasing() {
+        let a = DiurnalProcess::new(1.0, 0.5, 200.0, 30.0, 42).generate(5_000.0);
+        let b = DiurnalProcess::new(1.0, 0.5, 200.0, 30.0, 42).generate(5_000.0);
+        assert_eq!(a, b);
+        assert!(a.windows(2).all(|w| w[0] < w[1]));
+        assert!(a.iter().all(|&t| t > 0.0 && t <= 5_000.0));
+    }
+
+    #[test]
+    fn phase_shifts_the_peak() {
+        let base = DiurnalProcess::new(1.0, 0.9, 1000.0, 0.0, 5).generate(100_000.0);
+        let shifted = DiurnalProcess::new(1.0, 0.9, 1000.0, 500.0, 5).generate(100_000.0);
+        let cb = counts_by_phase(&base, 1000.0, 4);
+        let cs = counts_by_phase(&shifted, 1000.0, 4);
+        // Shifting by half a period swaps peak and trough quarters.
+        assert!(cb[0] > cb[2]);
+        assert!(cs[2] > cs[0]);
+    }
+
+    #[test]
+    #[should_panic]
+    fn swing_of_one_rejected() {
+        let _ = DiurnalProcess::new(1.0, 1.0, 100.0, 0.0, 1);
+    }
+}

@@ -1,0 +1,20 @@
+//! Workload generation for the empirical section (§4.2).
+//!
+//! The paper's experiments use two client arrival patterns over a horizon of
+//! 100 media lengths: **constant rate** (fixed inter-arrival gap λ) and
+//! **Poisson** (exponential gaps with mean λ), with λ swept from ~0% to 5%
+//! of the media length. [`arrivals`] implements both as seeded, reproducible
+//! processes; [`stats`] provides the aggregation used when averaging Poisson
+//! runs over seeds.
+
+pub mod arrivals;
+pub mod bursty;
+pub mod diurnal;
+pub mod scenario;
+pub mod stats;
+
+pub use arrivals::{ArrivalProcess, ConstantRate, PoissonProcess};
+pub use bursty::BurstyProcess;
+pub use diurnal::DiurnalProcess;
+pub use scenario::Scenario;
+pub use stats::Summary;

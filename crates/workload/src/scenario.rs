@@ -1,0 +1,91 @@
+//! Named experiment scenarios: the concrete configurations the paper's
+//! empirical section and our examples use, in one place.
+
+/// A fully specified simulation scenario in *slot* units (1 slot = the
+/// guaranteed start-up delay).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Scenario {
+    /// Human-readable name.
+    pub name: &'static str,
+    /// Media length in slots (`L`).
+    pub media_slots: u64,
+    /// Simulation horizon in slots.
+    pub horizon_slots: f64,
+    /// Mean inter-arrival gap in slots (the paper's λ, rescaled).
+    pub mean_gap_slots: f64,
+}
+
+impl Scenario {
+    /// λ as a percentage of the media length (the paper's x-axis).
+    pub fn lambda_pct_of_media(&self) -> f64 {
+        100.0 * self.mean_gap_slots / self.media_slots as f64
+    }
+
+    /// Expected number of arrivals over the horizon.
+    pub fn expected_arrivals(&self) -> f64 {
+        self.horizon_slots / self.mean_gap_slots
+    }
+}
+
+/// The paper's §4.2 base setup: delay = 1% of the media (L = 100), horizon
+/// 100 media lengths, intensity given as % of media length.
+pub fn paper_section42(lambda_pct: f64) -> Scenario {
+    Scenario {
+        name: "paper §4.2",
+        media_slots: 100,
+        horizon_slots: 100.0 * 100.0,
+        mean_gap_slots: lambda_pct / 100.0 * 100.0,
+    }
+}
+
+/// The paper's illustrative movie: 2 hours with a 15-minute delay (L = 8),
+/// arrivals every half delay on average, one day of service.
+pub fn movie_night() -> Scenario {
+    Scenario {
+        name: "2h movie, 15min delay",
+        media_slots: 8,
+        horizon_slots: 24.0 * 60.0 / 15.0,
+        mean_gap_slots: 0.5,
+    }
+}
+
+/// A stress scenario: very tight delay relative to the media.
+pub fn tight_delay() -> Scenario {
+    Scenario {
+        name: "0.1% delay",
+        media_slots: 1000,
+        horizon_slots: 20_000.0,
+        mean_gap_slots: 0.2,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_setup_units() {
+        let s = paper_section42(1.0);
+        assert_eq!(s.media_slots, 100);
+        assert_eq!(s.horizon_slots, 10_000.0);
+        assert_eq!(s.mean_gap_slots, 1.0);
+        assert!((s.lambda_pct_of_media() - 1.0).abs() < 1e-12);
+        assert_eq!(s.expected_arrivals(), 10_000.0);
+    }
+
+    #[test]
+    fn movie_night_units() {
+        let s = movie_night();
+        assert_eq!(s.media_slots, 8);
+        assert_eq!(s.horizon_slots, 96.0);
+        assert!(s.expected_arrivals() > 100.0);
+    }
+
+    #[test]
+    fn lambda_scaling() {
+        for pct in [0.05, 0.5, 1.0, 5.0] {
+            let s = paper_section42(pct);
+            assert!((s.lambda_pct_of_media() - pct).abs() < 1e-9);
+        }
+    }
+}

@@ -1,0 +1,63 @@
+//! A day in the life of a video-on-demand server: a popular 100-minute
+//! movie, 1-minute guaranteed start-up delay, Poisson request traffic that
+//! ramps up through prime time. Compares the four service strategies of the
+//! paper's §4.2 and reports bandwidth (total and peak).
+//!
+//! Run with: `cargo run --example vod_server`
+
+use stream_merging::online::batching::{batched_dyadic_cost, plain_batching_cost};
+use stream_merging::online::delay_guaranteed::online_full_cost;
+use stream_merging::online::dyadic::{dyadic_total_cost, DyadicConfig};
+use stream_merging::workload::{ArrivalProcess, PoissonProcess};
+
+fn main() {
+    // All times in slots: 1 slot = the 1-minute delay; the movie is L = 100.
+    let media = 100.0f64;
+    let media_len = 100u64;
+
+    println!("VoD server, 100-minute movie, 1-minute guaranteed delay");
+    println!("traffic: Poisson, three 8-hour shifts with rising intensity\n");
+
+    // Three shifts: overnight (mean gap 10 min), daytime (1 min),
+    // prime time (5 s).
+    let shifts = [
+        ("overnight ", 10.0, 480.0),
+        ("daytime   ", 1.0, 480.0),
+        ("prime time", 1.0 / 12.0, 480.0),
+    ];
+
+    println!(
+        "{:<11} {:>9} {:>16} {:>15} {:>15} {:>14}",
+        "shift", "requests", "immediate dyad.", "batched dyad.", "plain batching", "delay guar."
+    );
+    let mut offset = 0.0f64;
+    for (seed, (name, gap, dur)) in (1u64..).zip(shifts) {
+        let mut proc = PoissonProcess::new(gap, seed);
+        let arrivals: Vec<f64> = proc.generate(dur).into_iter().map(|t| t + offset).collect();
+        offset += dur;
+
+        let imm = dyadic_total_cost(DyadicConfig::golden_poisson(), media, &arrivals);
+        let bat = batched_dyadic_cost(DyadicConfig::golden_poisson(), &arrivals, 1.0, media);
+        let plain = plain_batching_cost(&arrivals, 1.0, media);
+        let dg = online_full_cost(media_len, dur as u64) as f64;
+        println!(
+            "{:<11} {:>9} {:>13.0} su {:>12.0} su {:>12.0} su {:>11.0} su",
+            name,
+            arrivals.len(),
+            imm,
+            bat,
+            plain,
+            dg
+        );
+    }
+
+    println!("\n(su = slot-units of server bandwidth; 100 su = one full stream)");
+    println!("\nReading the table like §4.2 of the paper:");
+    println!(" * overnight, requests are rarer than the delay window — the delay");
+    println!("   guaranteed algorithm wastes streams on empty slots and loses;");
+    println!(" * in prime time the arrival intensity dwarfs the delay and the");
+    println!("   delay-guaranteed algorithm wins while making zero on-line decisions;");
+    println!(" * batched dyadic interpolates between the two regimes.");
+    println!("\nThe paper's §5 hybrid proposal follows directly: run delay-guaranteed");
+    println!("while the measured intensity is above ~1 arrival per slot, dyadic below.");
+}

@@ -1,0 +1,114 @@
+//! Cross-crate checks between the static broadcasting substrate and the
+//! stream-merging side: both must agree on the delay axis, and the measured
+//! channel counts must match the published closed forms.
+
+use stream_merging::broadcast::{
+    fast_broadcasting, harmonic_bandwidth, skyscraper_broadcasting, static_tradeoff,
+    verify_all_phases, HarmonicPlan,
+};
+use stream_merging::fib::PHI;
+use stream_merging::online::capacity::steady_state_bandwidth;
+
+#[test]
+fn fast_channels_match_the_log2_formula() {
+    // k channels cover delay·(2^k − 1): the measured plan bandwidth equals
+    // ⌈log₂(L/D + 1)⌉ channels for every geometry where D | L.
+    for (l, d) in [(100u64, 1u64), (100, 2), (120, 4), (60, 5)] {
+        let k = stream_merging::broadcast::fast::channels_for(l, d);
+        let expected = ((l as f64 / d as f64) + 1.0).log2().ceil() as u32;
+        assert_eq!(k, expected, "L={l} D={d}");
+        let plan = fast_broadcasting(k, d).unwrap();
+        assert!(plan.media_len() >= l);
+    }
+}
+
+#[test]
+fn harmonic_bandwidth_is_ln_plus_gamma() {
+    // H_K = ln K + γ + o(1).
+    let gamma = 0.577_215_664_901_532_9;
+    for k in [10u32, 100, 1000] {
+        let h = harmonic_bandwidth(k);
+        let approx = (k as f64).ln() + gamma;
+        assert!((h - approx).abs() < 0.06, "K={k}: {h} vs {approx}");
+    }
+}
+
+#[test]
+fn merging_average_matches_theorem13_rate() {
+    // Theorem 13: F(L,n) = n·log_φ L + Θ(n) ⇒ steady average ≈ log_φ L + c.
+    for l in [50u64, 100, 200, 400] {
+        let avg = steady_state_bandwidth(l).average;
+        let log_phi = (l as f64).ln() / PHI.ln();
+        assert!(
+            (avg - log_phi).abs() < 3.0,
+            "L={l}: avg {avg} vs log_φ {log_phi}"
+        );
+    }
+}
+
+#[test]
+fn static_and_dynamic_log_families_scale_together() {
+    // Doubling the media adds ~1 channel to fast broadcasting and
+    // ~log_φ 2 ≈ 1.44 streams to the merging average: the paper's log-law
+    // on both sides of the static/dynamic divide.
+    let fast_small = stream_merging::broadcast::fast::channels_for(64, 1);
+    let fast_large = stream_merging::broadcast::fast::channels_for(128, 1);
+    assert_eq!(fast_large - fast_small, 1);
+
+    let merge_small = steady_state_bandwidth(64).average;
+    let merge_large = steady_state_bandwidth(128).average;
+    let delta = merge_large - merge_small;
+    assert!((delta - 1.44).abs() < 0.8, "merging delta {delta}");
+}
+
+#[test]
+fn skyscraper_is_receive_two_like_the_merging_model() {
+    // The paper's receive-two client assumption is exactly skyscraper's
+    // two-loader design: both sides of the comparison use the same client.
+    let plan = skyscraper_broadcasting(89, 1, u64::MAX).unwrap();
+    let report = verify_all_phases(&plan, Some(2), 1_000_000).unwrap();
+    assert_eq!(report.max_concurrent, 2);
+}
+
+#[test]
+fn tradeoff_delays_are_honored_on_both_sides() {
+    for delay in [1u64, 2, 5, 10] {
+        let rows = static_tradeoff(100, delay).unwrap();
+        for r in &rows {
+            assert!(r.worst_delay <= delay, "{}: {}", r.scheme, r.worst_delay);
+        }
+        // The merging side's guarantee is structural: one slot = the delay.
+        let dg = steady_state_bandwidth(100 / delay);
+        assert!(dg.peak > 0);
+    }
+}
+
+#[test]
+fn harmonic_is_the_cheapest_static_scheme_everywhere() {
+    for delay in [1u64, 2, 4, 5, 10, 20, 25] {
+        let rows = static_tradeoff(100, delay).unwrap();
+        let harmonic = rows
+            .iter()
+            .find(|r| r.scheme.starts_with("harmonic"))
+            .unwrap()
+            .channels;
+        for r in rows.iter().filter(|r| !r.scheme.starts_with("harmonic")) {
+            assert!(
+                harmonic <= r.channels + 1e-9,
+                "delay {delay}: harmonic {harmonic} vs {} {}",
+                r.scheme,
+                r.channels
+            );
+        }
+    }
+}
+
+#[test]
+fn undelayed_harmonic_bug_is_reproducible_at_scale() {
+    // The Pâris–Carter–Long discovery, pinned for every K in one sweep.
+    for k in 2..=128u32 {
+        let plan = HarmonicPlan::new(k as u64 * 5, k).unwrap();
+        assert!(plan.verify_delayed().is_ok(), "delayed K={k}");
+        assert!(plan.undelayed_violation().is_some(), "undelayed K={k}");
+    }
+}

@@ -1,0 +1,78 @@
+//! Cross-crate validation of the receive-all model (§3.4): the optimal
+//! receive-all forests from `sm-offline` must execute at the program level
+//! via `sm-core`'s Lemma-17 receiving programs.
+
+use stream_merging::core::{consecutive_slots, cost::receive_all_full_cost, ReceiveAllProgram};
+use stream_merging::offline::receive_all;
+
+#[test]
+fn optimal_receive_all_forests_execute_program_level() {
+    for (media_len, n) in [(8u64, 5usize), (15, 8), (15, 14), (31, 25), (100, 60)] {
+        let (forest, cost) = receive_all::optimal_forest(media_len, n);
+        let times = consecutive_slots(n);
+        assert_eq!(
+            receive_all_full_cost(&forest, &times, media_len) as u64,
+            cost,
+            "L = {media_len}, n = {n}"
+        );
+        for (range, tree) in forest.iter_with_ranges() {
+            let local = &times[range];
+            for c in 0..tree.len() {
+                let prog = ReceiveAllProgram::build(tree, local, media_len, c);
+                prog.verify(local, media_len, tree)
+                    .unwrap_or_else(|e| panic!("L={media_len} n={n} client {c}: {e}"));
+                assert_eq!(prog.total_parts(), media_len as i64);
+            }
+        }
+    }
+}
+
+#[test]
+fn receive_all_uses_more_receivers_but_less_bandwidth() {
+    // §3.4's tradeoff, observed program-level: receive-all clients listen
+    // to more streams at once, and the server pays less in total.
+    let n = 16usize;
+    let media = 34u64;
+    let times = consecutive_slots(n);
+
+    let (ra_forest, ra_cost) = receive_all::optimal_forest(media, n);
+    let r2_plan = stream_merging::offline::forest::optimal_forest(media, n);
+    assert!(
+        ra_cost <= r2_plan.cost,
+        "receive-all {ra_cost} must not exceed receive-two {}",
+        r2_plan.cost
+    );
+
+    let mut max_receivers = 0usize;
+    for (range, tree) in ra_forest.iter_with_ranges() {
+        let local = &times[range];
+        for c in 0..tree.len() {
+            let prog = ReceiveAllProgram::build(tree, local, media, c);
+            max_receivers = max_receivers.max(prog.max_concurrent());
+        }
+    }
+    // The binary receive-all tree goes deeper than 2.
+    assert!(
+        max_receivers > 2,
+        "receive-all trees should exercise >2 receivers, got {max_receivers}"
+    );
+}
+
+#[test]
+fn receive_all_merge_cost_table_matches_programs() {
+    // Mω(n) priced by the DP equals the cost of the constructed tree, and
+    // the constructed tree's programs verify.
+    let table = receive_all::merge_cost_table_dp(16);
+    for (n, &expected) in table.iter().enumerate().skip(1) {
+        let tree = receive_all::optimal_merge_tree(n);
+        let times = consecutive_slots(n);
+        let cost = stream_merging::core::receive_all_merge_cost(&tree, &times);
+        assert_eq!(cost as u64, expected, "n = {n}");
+        let media = 2 * n as u64 + 2;
+        for c in 0..n {
+            ReceiveAllProgram::build(&tree, &times, media, c)
+                .verify(&times, media, &tree)
+                .unwrap();
+        }
+    }
+}
