@@ -45,8 +45,12 @@ fn bench_buffer_caps(c: &mut Criterion) {
         b.iter(|| {
             let mut acc = 0u64;
             for buffer in [2u64, 4, 8, 16, 32, 49] {
-                let (_, cost) =
-                    forest::optimal_s_bounded_buffer(&cf, black_box(100), black_box(10_000), buffer);
+                let (_, cost) = forest::optimal_s_bounded_buffer(
+                    &cf,
+                    black_box(100),
+                    black_box(10_000),
+                    buffer,
+                );
                 acc = acc.wrapping_add(cost);
             }
             black_box(acc)
@@ -63,7 +67,13 @@ fn bench_dyadic_alpha(c: &mut Criterion) {
         ("alpha_phi", DyadicConfig::golden_poisson()),
     ] {
         g.bench_function(name, |b| {
-            b.iter(|| black_box(dyadic_total_cost(cfg, black_box(100.0), black_box(&arrivals))))
+            b.iter(|| {
+                black_box(dyadic_total_cost(
+                    cfg,
+                    black_box(100.0),
+                    black_box(&arrivals),
+                ))
+            })
         });
     }
     g.finish();

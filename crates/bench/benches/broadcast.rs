@@ -4,8 +4,7 @@
 use criterion::{criterion_group, criterion_main, Criterion};
 use sm_broadcast::verify::{check_deadlines, verify_all_phases};
 use sm_broadcast::{
-    fast_broadcasting, pyramid_broadcasting, skyscraper_broadcasting, static_tradeoff,
-    HarmonicPlan,
+    fast_broadcasting, pyramid_broadcasting, skyscraper_broadcasting, static_tradeoff, HarmonicPlan,
 };
 use std::hint::black_box;
 

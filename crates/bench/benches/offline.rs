@@ -57,7 +57,13 @@ fn bench_optimal_s(c: &mut Criterion) {
         })
     });
     g.bench_function("scan_all_s_n_100k", |b| {
-        b.iter(|| black_box(forest::brute_force_optimal_s(&cf, black_box(1000), black_box(100_000))))
+        b.iter(|| {
+            black_box(forest::brute_force_optimal_s(
+                &cf,
+                black_box(1000),
+                black_box(100_000),
+            ))
+        })
     });
     g.finish();
 }

@@ -10,7 +10,9 @@ fn bench_planning(c: &mut Criterion) {
     g.sample_size(20);
     let catalog = Catalog::zipf(16, 1.0, &[120.0, 90.0, 100.0]);
     let cands = [1.0, 2.0, 5.0, 10.0, 20.0];
-    let full = plan_weighted(&catalog, u64::MAX, &[1.0]).unwrap().total_peak;
+    let full = plan_weighted(&catalog, u64::MAX, &[1.0])
+        .unwrap()
+        .total_peak;
     g.bench_function("plan_weighted_16_titles", |b| {
         b.iter(|| black_box(plan_weighted(black_box(&catalog), full / 2, &cands).unwrap()))
     });

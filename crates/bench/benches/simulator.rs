@@ -14,7 +14,13 @@ fn bench_simulate(c: &mut Criterion) {
         let plan = optimal_forest(media_len, n);
         let times = consecutive_slots(n);
         g.bench_function(format!("optimal_L{media_len}_n{n}"), |b| {
-            b.iter(|| black_box(simulate(black_box(&plan.forest), black_box(&times), media_len)))
+            b.iter(|| {
+                black_box(simulate(
+                    black_box(&plan.forest),
+                    black_box(&times),
+                    media_len,
+                ))
+            })
         });
     }
     g.finish();
@@ -25,7 +31,13 @@ fn bench_schedule_and_metrics(c: &mut Criterion) {
     let plan = optimal_forest(100, 10_000);
     let times = consecutive_slots(10_000);
     g.bench_function("derive_streams_n_10k", |b| {
-        b.iter(|| black_box(stream_schedule(black_box(&plan.forest), black_box(&times), 100)))
+        b.iter(|| {
+            black_box(stream_schedule(
+                black_box(&plan.forest),
+                black_box(&times),
+                100,
+            ))
+        })
     });
     let specs = stream_schedule(&plan.forest, &times, 100);
     g.bench_function("bandwidth_profile_n_10k", |b| {

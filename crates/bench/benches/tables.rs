@@ -39,9 +39,7 @@ fn bench_examples(c: &mut Criterion) {
             }
         })
     });
-    c.bench_function("fig7_trees", |b| {
-        b.iter(|| black_box(tables::fig7_trees()))
-    });
+    c.bench_function("fig7_trees", |b| b.iter(|| black_box(tables::fig7_trees())));
 }
 
 criterion_group!(benches, bench_mn, bench_momega, bench_examples);

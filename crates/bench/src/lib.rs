@@ -3,7 +3,7 @@
 //! The benches live in `benches/`:
 //!
 //! * `offline` — the paper's `O(n²) → O(n)` improvements (Theorems 7/10/12)
-//!   measured head-to-head against the DP baselines of [6];
+//!   measured head-to-head against the DP baselines of \[6\];
 //! * `online` — per-slot/per-arrival throughput of the Delay Guaranteed
 //!   algorithm vs the dyadic algorithm (§4.2's simplicity claim);
 //! * `simulator` — schedule execution throughput;

@@ -1,4 +1,4 @@
-//! Fast broadcasting (Juhn–Tseng [27], cited in paper §1).
+//! Fast broadcasting (Juhn–Tseng \[27\], cited in paper §1).
 //!
 //! With `k` unit-rate channels the media is cut into segments of
 //! `1, 2, 4, …, 2^{k−1}` base units — `2^k − 1` units in total — each

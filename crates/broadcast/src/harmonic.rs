@@ -1,4 +1,4 @@
-//! Harmonic broadcasting (Juhn–Tseng [25], cited in paper §1) in its exact
+//! Harmonic broadcasting (Juhn–Tseng \[25\], cited in paper §1) in its exact
 //! fluid model.
 //!
 //! The media is cut into `K` equal segments of `ℓ = L/K` units; channel `i`

@@ -3,9 +3,9 @@
 //!
 //! The paper's introduction contrasts the *dynamic* stream-merging model with
 //! the *static* broadcasting protocols that preceded it: staggered/batched
-//! broadcasting, pyramid broadcasting (Viswanathan–Imielinski [38]),
-//! skyscraper broadcasting (Hua–Sheu [24]), fast broadcasting
-//! (Juhn–Tseng [27]) and harmonic broadcasting (Juhn–Tseng [25]). All of them
+//! broadcasting, pyramid broadcasting (Viswanathan–Imielinski \[38\]),
+//! skyscraper broadcasting (Hua–Sheu \[24\]), fast broadcasting
+//! (Juhn–Tseng \[27\]) and harmonic broadcasting (Juhn–Tseng \[25\]). All of them
 //! pre-allocate a fixed set of channels per media object and broadcast fixed
 //! segments periodically, so their server bandwidth is *constant* — it does
 //! not adapt to the client arrival intensity, which is exactly the weakness

@@ -1,4 +1,4 @@
-//! Pyramid broadcasting (Viswanathan–Imielinski [38], cited in paper §1) in
+//! Pyramid broadcasting (Viswanathan–Imielinski \[38\], cited in paper §1) in
 //! the unit-rate channel model.
 //!
 //! The original pyramid scheme cuts the media into segments growing
@@ -130,8 +130,7 @@ mod tests {
     fn gentle_alpha_verifies() {
         for &alpha in &[1.3, 1.5, 1.8, 2.0] {
             let plan = pyramid_broadcasting(100, 1, alpha).unwrap();
-            check_deadlines(&plan)
-                .unwrap_or_else(|e| panic!("alpha {alpha} should verify: {e}"));
+            check_deadlines(&plan).unwrap_or_else(|e| panic!("alpha {alpha} should verify: {e}"));
         }
     }
 
@@ -156,7 +155,10 @@ mod tests {
         assert!(a_short >= 2.0, "short media: {a_short}");
         // Longer media: the bound tightens towards 2.
         let a_long = max_feasible_alpha(500, 1, 0.01);
-        assert!(a_long >= 1.9 && a_long < a_short + 0.01, "long media: {a_long}");
+        assert!(
+            a_long >= 1.9 && a_long < a_short + 0.01,
+            "long media: {a_long}"
+        );
     }
 
     #[test]

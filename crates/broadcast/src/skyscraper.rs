@@ -1,4 +1,4 @@
-//! Skyscraper broadcasting (Hua–Sheu [24], cited in paper §1 as *the*
+//! Skyscraper broadcasting (Hua–Sheu \[24\], cited in paper §1 as *the*
 //! delay-guaranteed pyramid-model predecessor).
 //!
 //! Skyscraper was designed for clients that can receive at most **two**

@@ -17,10 +17,7 @@ use crate::plan::{Segment, SegmentPlan};
 ///
 /// Bandwidth is exactly `media_len / delay` channels; start-up delay is at
 /// most `delay`; clients receive one channel and need no buffer.
-pub fn staggered_broadcasting(
-    media_len: u64,
-    delay: u64,
-) -> Result<SegmentPlan, BroadcastError> {
+pub fn staggered_broadcasting(media_len: u64, delay: u64) -> Result<SegmentPlan, BroadcastError> {
     if media_len == 0 {
         return Err(BroadcastError::InvalidParameters {
             reason: "media length must be positive",

@@ -62,10 +62,7 @@ pub struct PlanReport {
 
 /// Computes the latest-fit reception schedule for a client arriving at
 /// `arrival`, without enforcing any receive cap.
-pub fn client_schedule(
-    plan: &SegmentPlan,
-    arrival: u64,
-) -> Result<ClientOutcome, BroadcastError> {
+pub fn client_schedule(plan: &SegmentPlan, arrival: u64) -> Result<ClientOutcome, BroadcastError> {
     let segments = plan.segments();
     let playback_start = segments[0].earliest_start_at_or_after(arrival);
     let prefix = plan.prefix_lengths();
@@ -299,11 +296,8 @@ mod tests {
 
     #[test]
     fn delay_is_time_to_next_segment0_instance() {
-        let plan = SegmentPlan::new(vec![
-            Segment::back_to_back(3),
-            Segment::back_to_back(6),
-        ])
-        .unwrap();
+        let plan =
+            SegmentPlan::new(vec![Segment::back_to_back(3), Segment::back_to_back(6)]).unwrap();
         let c = client_schedule(&plan, 1).unwrap();
         assert_eq!(c.playback_start, 3);
         assert_eq!(c.delay, 2);
@@ -338,11 +332,8 @@ mod tests {
     fn infeasible_plan_is_rejected() {
         // Second segment is far too long for its position: its only on-time
         // instance starts before the client arrives at phase 1.
-        let plan = SegmentPlan::new(vec![
-            Segment::back_to_back(1),
-            Segment::back_to_back(10),
-        ])
-        .unwrap();
+        let plan =
+            SegmentPlan::new(vec![Segment::back_to_back(1), Segment::back_to_back(10)]).unwrap();
         // At arrival 1: s0 = 1, deadline for segment 1 is 2; latest instance
         // of period 10 at/before 2 starts at 0 < arrival.
         let err = client_schedule(&plan, 1).unwrap_err();
@@ -389,11 +380,8 @@ mod tests {
         // Segment 1 (length 2, period 2): a client with playback_start = 0
         // has deadline 1 for segment 1, latest instance at 0 — it receives
         // units of segment 1 a full unit ahead of playback.
-        let plan = SegmentPlan::new(vec![
-            Segment::back_to_back(1),
-            Segment::back_to_back(2),
-        ])
-        .unwrap();
+        let plan =
+            SegmentPlan::new(vec![Segment::back_to_back(1), Segment::back_to_back(2)]).unwrap();
         let c = client_schedule(&plan, 0).unwrap();
         assert_eq!(c.receive_windows[1], (0, 2));
         assert!(c.max_buffer >= 1);
@@ -454,11 +442,8 @@ mod tests {
 
     #[test]
     fn sampled_verification_rejects_infeasible_plans_analytically() {
-        let plan = SegmentPlan::new(vec![
-            Segment::back_to_back(1),
-            Segment::back_to_back(10),
-        ])
-        .unwrap();
+        let plan =
+            SegmentPlan::new(vec![Segment::back_to_back(1), Segment::back_to_back(10)]).unwrap();
         assert!(verify_sampled(&plan, None, 100).is_err());
     }
 

@@ -166,10 +166,7 @@ pub fn run(args: &[String]) -> Result<String, CliError> {
     }
 }
 
-fn required<'a>(
-    it: &mut impl Iterator<Item = &'a str>,
-    what: &str,
-) -> Result<&'a str, CliError> {
+fn required<'a>(it: &mut impl Iterator<Item = &'a str>, what: &str) -> Result<&'a str, CliError> {
     it.next().ok_or_else(|| CliError::BadArgument {
         arg: format!("<{what}>"),
         reason: "missing".to_string(),
@@ -341,10 +338,7 @@ mod tests {
     fn table_alignment() {
         let t = table(
             &["a", "long-header"],
-            &[
-                vec!["1".into(), "2".into()],
-                vec!["333".into(), "4".into()],
-            ],
+            &[vec!["1".into(), "2".into()], vec!["333".into(), "4".into()]],
         );
         let lines: Vec<&str> = t.lines().collect();
         assert_eq!(lines.len(), 4);

@@ -15,7 +15,11 @@ pub fn mcost(n: u64) -> String {
     let cf = ClosedForm::new();
     let (lo, hi) = cf.last_merge_interval(n.max(2));
     let mut out = String::new();
-    let _ = writeln!(out, "M({n}) = {}   (receive-two optimal merge cost)", cf.merge_cost(n));
+    let _ = writeln!(
+        out,
+        "M({n}) = {}   (receive-two optimal merge cost)",
+        cf.merge_cost(n)
+    );
     let _ = writeln!(
         out,
         "Mω({n}) = {}   (receive-all optimal merge cost)",
@@ -89,11 +93,7 @@ pub fn program(media_len: u64, n: u64, client: u64) -> String {
     let local_times = &times[start..end];
     let rp = ReceivingProgram::build(tree, local_times, media_len, local);
     let mut out = String::new();
-    let path_global: Vec<String> = rp
-        .path
-        .iter()
-        .map(|&x| (x + start).to_string())
-        .collect();
+    let path_global: Vec<String> = rp.path.iter().map(|&x| (x + start).to_string()).collect();
     let _ = writeln!(
         out,
         "client {client} (tree {tree_idx}, local {local}) path: {}",
@@ -127,7 +127,10 @@ pub fn online(media_len: u64, horizon: u64) -> String {
     let online = online_full_cost(media_len, horizon);
     let offline = sm_offline::forest::optimal_full_cost(media_len, horizon);
     let mut out = String::new();
-    let _ = writeln!(out, "on-line Delay Guaranteed, L = {media_len}, horizon = {horizon}:");
+    let _ = writeln!(
+        out,
+        "on-line Delay Guaranteed, L = {media_len}, horizon = {horizon}:"
+    );
     let _ = writeln!(out, "  tree size F_h = {fh} (h = {h})");
     let _ = writeln!(out, "  on-line cost  A(L,n) = {online}");
     let _ = writeln!(out, "  off-line cost F(L,n) = {offline}");
@@ -142,12 +145,11 @@ pub fn online(media_len: u64, horizon: u64) -> String {
 
 /// `smctl broadcast <L> <D>`.
 pub fn broadcast(media_len: u64, delay: u64) -> Result<String, CliError> {
-    let rows = sm_broadcast::static_tradeoff(media_len, delay).map_err(|e| {
-        CliError::BadArgument {
+    let rows =
+        sm_broadcast::static_tradeoff(media_len, delay).map_err(|e| CliError::BadArgument {
             arg: format!("{media_len} {delay}"),
             reason: e.to_string(),
-        }
-    })?;
+        })?;
     let table_rows: Vec<Vec<String>> = rows
         .iter()
         .map(|r| {
@@ -160,9 +162,8 @@ pub fn broadcast(media_len: u64, delay: u64) -> Result<String, CliError> {
             ]
         })
         .collect();
-    let mut out = format!(
-        "static broadcasting schemes for L = {media_len} units, delay = {delay}:\n"
-    );
+    let mut out =
+        format!("static broadcasting schemes for L = {media_len} units, delay = {delay}:\n");
     out.push_str(&table(
         &["scheme", "channels", "worst-delay", "recv-cap", "buffer"],
         &table_rows,
@@ -287,10 +288,7 @@ pub fn policies(media_len: u64, lambda_pct: f64) -> String {
     let arrivals = ConstantRate::new(interval).generate(horizon);
     let dg = online_full_cost(media_len, horizon as u64) as f64 / media;
     let rows = [
-        (
-            "delay guaranteed",
-            dg,
-        ),
+        ("delay guaranteed", dg),
         (
             "dyadic (alpha=phi)",
             dyadic_total_cost(
@@ -305,8 +303,7 @@ pub fn policies(media_len: u64, lambda_pct: f64) -> String {
         ),
         (
             "patching (tau*)",
-            patching_total_cost(media, optimal_threshold(media, 1.0 / interval), &arrivals)
-                / media,
+            patching_total_cost(media, optimal_threshold(media, 1.0 / interval), &arrivals) / media,
         ),
         (
             "plain batching",

@@ -216,11 +216,7 @@ mod tests {
 
     #[test]
     fn receive_all_never_exceeds_receive_two() {
-        let trees = [
-            fig4(),
-            MergeTree::chain(8),
-            MergeTree::star(8),
-        ];
+        let trees = [fig4(), MergeTree::chain(8), MergeTree::star(8)];
         let times = consecutive_slots(8);
         for t in &trees {
             let two = lengths(t, &times);
@@ -245,16 +241,9 @@ mod tests {
         // Paper: L = 15, n = 14 optimal has two trees of 7 arrivals,
         // Fcost = 2·15 + 17 + 17 = 64. Check the arithmetic with explicit
         // optimal 7-trees: (0 (1) (2) (3 (4)) (5 (6))) has cost 17.
-        let t7 = MergeTree::from_parents(&[
-            None,
-            Some(0),
-            Some(0),
-            Some(0),
-            Some(3),
-            Some(0),
-            Some(5),
-        ])
-        .unwrap();
+        let t7 =
+            MergeTree::from_parents(&[None, Some(0), Some(0), Some(0), Some(3), Some(0), Some(5)])
+                .unwrap();
         assert_eq!(merge_cost(&t7, &consecutive_slots(7)), 17);
         let forest = MergeForest::from_trees(vec![t7.clone(), t7]).unwrap();
         let times = consecutive_slots(14);

@@ -16,7 +16,7 @@ pub enum ModelError {
     /// label < child label).
     ParentNotEarlier { node: usize, parent: usize },
     /// The tree does not satisfy the preorder-traversal property (required
-    /// of *optimal* trees, Lemma from [6] quoted in §2).
+    /// of *optimal* trees, Lemma from \[6\] quoted in §2).
     PreorderViolation { expected: usize, found: usize },
     /// Arrival times are not strictly increasing.
     TimesNotSorted,
@@ -29,7 +29,11 @@ pub enum ModelError {
     /// i.e. the schedule would have to broadcast past the end of the media.
     LengthExceedsMedia { node: usize },
     /// A client would need more buffer than the stated bound `B`.
-    BufferExceeded { node: usize, needed: u64, bound: u64 },
+    BufferExceeded {
+        node: usize,
+        needed: u64,
+        bound: u64,
+    },
     /// A receiving program asked for a part outside `1..=L`.
     PartOutOfRange { part: i64 },
     /// A receiving program does not deliver the media contiguously.
@@ -79,7 +83,10 @@ impl fmt::Display for ModelError {
                 "client {node} needs a buffer of {needed} slots, exceeding the bound {bound}"
             ),
             Self::PartOutOfRange { part } => {
-                write!(f, "receiving program references part {part}, outside the media")
+                write!(
+                    f,
+                    "receiving program references part {part}, outside the media"
+                )
             }
             Self::CoverageGap {
                 expected_part,

@@ -121,7 +121,12 @@ impl ReceiveAllProgram {
     /// within the media, every part broadcast at or after the client's
     /// arrival (live reception) and no later than its playback slot, and
     /// every source stream long enough (Lemma 17 lengths).
-    pub fn verify(&self, times: &[i64], media_len: u64, tree: &MergeTree) -> Result<(), ModelError> {
+    pub fn verify(
+        &self,
+        times: &[i64],
+        media_len: u64,
+        tree: &MergeTree,
+    ) -> Result<(), ModelError> {
         let media = media_len as i64;
         let tk = times[self.client];
         let omega = cost::receive_all_lengths(tree, times);
@@ -240,7 +245,7 @@ mod tests {
         let times = consecutive_slots(8);
         let p = ReceiveAllProgram::build(&tree, &times, 15, 7);
         assert_eq!(p.max_concurrent(), 3); // path 0 -> 5 -> 7
-        // Deep chains need as many receivers as their depth + 1.
+                                           // Deep chains need as many receivers as their depth + 1.
         let chain = MergeTree::chain(5);
         let times = consecutive_slots(5);
         let p = ReceiveAllProgram::build(&chain, &times, 12, 4);

@@ -4,7 +4,7 @@
 //! `0..n`, rooted at 0, in which every non-root merges to an *earlier*
 //! arrival and children are ordered by arrival. Optimal trees additionally
 //! satisfy the preorder-traversal property (preorder visits labels in
-//! increasing order) — a fact from [6] the paper reuses; [`MergeTree`]
+//! increasing order) — a fact from \[6\] the paper reuses; [`MergeTree`]
 //! validates the former on construction and exposes the latter as a check.
 
 use crate::error::ModelError;
@@ -176,7 +176,7 @@ impl MergeTree {
     }
 
     /// Checks the preorder-traversal property: preorder visits `0, 1, …, n−1`
-    /// in order. Optimal merge trees always satisfy it (§2, citing [6]).
+    /// in order. Optimal merge trees always satisfy it (§2, citing \[6\]).
     pub fn has_preorder_property(&self) -> bool {
         self.preorder().iter().copied().eq(0..self.len())
     }
@@ -207,8 +207,8 @@ impl MergeTree {
         parents.extend(self.to_parents());
         for i in 0..n2 {
             parents.push(match other.parent(i) {
-                None => Some(0),          // other's root becomes a child of our root
-                Some(p) => Some(p + n1),  // internal edges shift by n1
+                None => Some(0),         // other's root becomes a child of our root
+                Some(p) => Some(p + n1), // internal edges shift by n1
             });
         }
         Self::from_parents(&parents).expect("grafting preserves validity")

@@ -18,15 +18,13 @@ use crate::time::{is_strictly_increasing, TimeScalar};
 use crate::tree::MergeTree;
 
 /// What to check beyond the basic span/length feasibility.
-#[derive(Debug, Clone, Copy, PartialEq)]
-#[derive(Default)]
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
 pub struct ValidationOptions {
     /// Require the preorder-traversal property.
     pub require_preorder: bool,
     /// Client buffer bound `B` in parts (`None` = unbounded).
     pub buffer_bound: Option<u64>,
 }
-
 
 /// Validates a single tree over `times` against media length `media_len`.
 pub fn validate_tree<T: TimeScalar>(

@@ -4,8 +4,19 @@ use std::process::Command;
 
 fn main() {
     for bin in [
-        "tables", "fig1", "fig8", "fig9", "fig11", "fig12", "ratios", "hybrid", "buffers",
-        "policies", "broadcast", "server", "dynamic",
+        "tables",
+        "fig1",
+        "fig8",
+        "fig9",
+        "fig11",
+        "fig12",
+        "ratios",
+        "hybrid",
+        "buffers",
+        "policies",
+        "broadcast",
+        "server",
+        "dynamic",
     ] {
         println!("==================== {bin} ====================");
         let status = Command::new(std::env::current_exe().unwrap().parent().unwrap().join(bin))

@@ -8,15 +8,17 @@ fn main() {
     let media_len = 100u64;
     let delays = [1u64, 2, 4, 5, 10, 20];
     let rows = broadcast_exp::compute(media_len, &delays);
-    println!(
-        "Static vs dynamic bandwidth (media = {media_len} units; channels per scheme)\n"
-    );
+    println!("Static vs dynamic bandwidth (media = {media_len} units; channels per scheme)\n");
     println!(
         "{}",
         render_table(&broadcast_exp::HEADERS, &broadcast_exp::to_rows(&rows))
     );
     let path = results_dir().join("broadcast.csv");
-    write_csv(&path, &broadcast_exp::HEADERS, &broadcast_exp::to_rows(&rows))
-        .expect("write CSV");
+    write_csv(
+        &path,
+        &broadcast_exp::HEADERS,
+        &broadcast_exp::to_rows(&rows),
+    )
+    .expect("write CSV");
     println!("wrote {}", path.display());
 }

@@ -25,7 +25,14 @@ fn main() {
         .expect("both epochs must be plannable under the license");
 
     println!("Dynamic re-provisioning — catalog 4 -> 10 titles at minute 600, license {budget} streams\n");
-    let headers = ["epoch", "start", "end", "titles", "expected_delay", "planned_peak"];
+    let headers = [
+        "epoch",
+        "start",
+        "end",
+        "titles",
+        "expected_delay",
+        "planned_peak",
+    ];
     let rows: Vec<Vec<String>> = report
         .epoch_plans
         .iter()

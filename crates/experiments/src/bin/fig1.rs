@@ -1,7 +1,7 @@
 //! Regenerates Fig. 1: bandwidth vs guaranteed start-up delay.
 
-use sm_experiments::output::{render_table, results_dir, write_csv};
 use sm_experiments::fig1;
+use sm_experiments::output::{render_table, results_dir, write_csv};
 
 fn main() {
     let rows = fig1::compute(100, &fig1::default_delays());

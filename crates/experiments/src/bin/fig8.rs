@@ -13,7 +13,14 @@ fn main() {
     let path = results_dir().join("fig8.csv");
     let csv_rows: Vec<Vec<String>> = rows
         .iter()
-        .map(|r| vec![r.n.to_string(), r.lo.to_string(), r.hi.to_string(), r.regime.to_string()])
+        .map(|r| {
+            vec![
+                r.n.to_string(),
+                r.lo.to_string(),
+                r.hi.to_string(),
+                r.regime.to_string(),
+            ]
+        })
         .collect();
     write_csv(&path, &["n", "lo", "hi", "regime"], &csv_rows).expect("write CSV");
     println!("wrote {}", path.display());

@@ -11,7 +11,10 @@ fn main() {
         "Policy comparison — constant-rate arrivals (L = {} slots, delay = 1%, horizon = {} media)\n",
         constant.media_slots, constant.horizon_media
     );
-    println!("{}", render_table(&policies::HEADERS, &policies::to_rows(&rows)));
+    println!(
+        "{}",
+        render_table(&policies::HEADERS, &policies::to_rows(&rows))
+    );
     let path = results_dir().join("policies_constant.csv");
     write_csv(&path, &policies::HEADERS, &policies::to_rows(&rows)).expect("write CSV");
     println!("wrote {}\n", path.display());
@@ -25,7 +28,10 @@ fn main() {
         "Policy comparison — Poisson arrivals ({} seeds)\n",
         poisson.seeds.len()
     );
-    println!("{}", render_table(&policies::HEADERS, &policies::to_rows(&rows)));
+    println!(
+        "{}",
+        render_table(&policies::HEADERS, &policies::to_rows(&rows))
+    );
     let path = results_dir().join("policies_poisson.csv");
     write_csv(&path, &policies::HEADERS, &policies::to_rows(&rows)).expect("write CSV");
     println!("wrote {}", path.display());

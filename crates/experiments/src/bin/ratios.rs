@@ -18,8 +18,12 @@ fn main() {
         })
         .collect();
     println!("{}", render_table(&["n", "M(n)", "Mw(n)", "ratio"], &rows));
-    write_csv(&results_dir().join("theorem19.csv"), &["n", "m2", "mall", "ratio"], &rows)
-        .expect("write CSV");
+    write_csv(
+        &results_dir().join("theorem19.csv"),
+        &["n", "m2", "mall", "ratio"],
+        &rows,
+    )
+    .expect("write CSV");
 
     println!("Theorem 20 — F(L,n)/Fw(L,n) for n = 300 L\n");
     let t20 = ratios::theorem20_rows();
@@ -34,13 +38,15 @@ fn main() {
     let t14 = ratios::theorem14_rows();
     let rows: Vec<Vec<String>> = t14
         .iter()
-        .map(|(l, gain, pred)| {
-            vec![l.to_string(), format!("{gain:.2}"), format!("{pred:.2}")]
-        })
+        .map(|(l, gain, pred)| vec![l.to_string(), format!("{gain:.2}"), format!("{pred:.2}")])
         .collect();
     println!("{}", render_table(&["L", "gain", "L/log_phi L"], &rows));
-    write_csv(&results_dir().join("theorem14.csv"), &["L", "gain", "predicted"], &rows)
-        .expect("write CSV");
+    write_csv(
+        &results_dir().join("theorem14.csv"),
+        &["L", "gain", "predicted"],
+        &rows,
+    )
+    .expect("write CSV");
 
     println!("Theorem 22 — A/F vs 1 + 2L/n (L = 15)\n");
     let t22 = ratios::theorem22_rows(15);
@@ -49,6 +55,10 @@ fn main() {
         .map(|(n, r, b)| vec![n.to_string(), format!("{r:.6}"), format!("{b:.6}")])
         .collect();
     println!("{}", render_table(&["n", "ratio", "bound"], &rows));
-    write_csv(&results_dir().join("theorem22.csv"), &["n", "ratio", "bound"], &rows)
-        .expect("write CSV");
+    write_csv(
+        &results_dir().join("theorem22.csv"),
+        &["n", "ratio", "bound"],
+        &rows,
+    )
+    .expect("write CSV");
 }

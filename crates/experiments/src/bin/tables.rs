@@ -19,9 +19,15 @@ fn main() {
         .map(|(n, c, d)| vec![n.to_string(), c.to_string(), d.to_string()])
         .collect();
     println!("Momega(n), closed form vs DP (paper §3.4 table)\n");
-    println!("{}", render_table(&["n", "Mw(n)", "Mw(n) via DP"], &mo_rows));
+    println!(
+        "{}",
+        render_table(&["n", "Mw(n)", "Mw(n) via DP"], &mo_rows)
+    );
 
-    println!("Fig. 4 optimal tree for n = 8: {}\n", tables::fig4_tree_sexpr());
+    println!(
+        "Fig. 4 optimal tree for n = 8: {}\n",
+        tables::fig4_tree_sexpr()
+    );
 
     println!("Fig. 6 — the two optimal trees for n = 4:");
     for (sexpr, cost) in tables::fig6_trees() {
@@ -41,12 +47,23 @@ fn main() {
         .iter()
         .map(|(l, got, want)| vec![l.to_string(), got.to_string(), want.to_string()])
         .collect();
-    println!("{}", render_table(&["example", "computed", "paper"], &ex_rows));
+    println!(
+        "{}",
+        render_table(&["example", "computed", "paper"], &ex_rows)
+    );
 
-    write_csv(&results_dir().join("table_mn.csv"), &["n", "mn", "mn_dp"], &mn_rows)
-        .expect("write CSV");
-    write_csv(&results_dir().join("table_momega.csv"), &["n", "momega", "momega_dp"], &mo_rows)
-        .expect("write CSV");
+    write_csv(
+        &results_dir().join("table_mn.csv"),
+        &["n", "mn", "mn_dp"],
+        &mn_rows,
+    )
+    .expect("write CSV");
+    write_csv(
+        &results_dir().join("table_momega.csv"),
+        &["n", "momega", "momega_dp"],
+        &mo_rows,
+    )
+    .expect("write CSV");
     println!("wrote {}", results_dir().join("table_mn.csv").display());
     println!("wrote {}", results_dir().join("table_momega.csv").display());
 }

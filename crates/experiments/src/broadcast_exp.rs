@@ -40,8 +40,8 @@ pub struct BroadcastRow {
 /// `media_len`).
 pub fn compute(media_len: u64, delays: &[u64]) -> Vec<BroadcastRow> {
     parallel_map(delays, |&delay| {
-        let rows = static_tradeoff(media_len, delay)
-            .unwrap_or_else(|e| panic!("delay {delay}: {e}"));
+        let rows =
+            static_tradeoff(media_len, delay).unwrap_or_else(|e| panic!("delay {delay}: {e}"));
         let by = |name: &str| {
             rows.iter()
                 .find(|r| r.scheme.starts_with(name))

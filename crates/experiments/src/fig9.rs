@@ -80,8 +80,7 @@ mod tests {
     fn ratio_approaches_one() {
         let rows = compute(&default_configs());
         for &media_len in &[50u64, 100, 200] {
-            let series: Vec<&Fig9Row> =
-                rows.iter().filter(|r| r.media_len == media_len).collect();
+            let series: Vec<&Fig9Row> = rows.iter().filter(|r| r.media_len == media_len).collect();
             let last = series.last().unwrap();
             assert!(last.ratio < 1.01, "L = {media_len}: {}", last.ratio);
             // Not just the last point: the series must be (weakly) improving

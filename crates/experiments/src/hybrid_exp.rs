@@ -68,8 +68,7 @@ pub fn compute(cfg: &HybridSweep) -> Vec<HybridRow> {
         // 200 slots).
         let cycle = 200.0;
         let arrivals: Vec<f64> = if frac <= 0.0 {
-            BurstyProcess::new(cfg.lull_gap, cfg.lull_gap, cycle, cycle, cfg.seed)
-                .generate(horizon)
+            BurstyProcess::new(cfg.lull_gap, cfg.lull_gap, cycle, cycle, cfg.seed).generate(horizon)
         } else if frac >= 1.0 {
             BurstyProcess::new(cfg.burst_gap, cfg.burst_gap, cycle, cycle, cfg.seed)
                 .generate(horizon)

@@ -47,9 +47,7 @@ impl Default for IntensityConfig {
         Self {
             media_slots: 100,
             horizon_media: 100.0,
-            lambdas_pct: vec![
-                0.05, 0.1, 0.2, 0.3, 0.5, 0.75, 1.0, 1.5, 2.0, 3.0, 4.0, 5.0,
-            ],
+            lambdas_pct: vec![0.05, 0.1, 0.2, 0.3, 0.5, 0.75, 1.0, 1.5, 2.0, 3.0, 4.0, 5.0],
         }
     }
 }
@@ -190,8 +188,8 @@ mod tests {
         // §4.2: for λ greater than the delay, batching ~ immediate service.
         let rows = compute(&small_cfg(), &ArrivalKind::ConstantRate);
         let low = rows.last().unwrap();
-        let rel = (low.immediate_dyadic.mean - low.batched_dyadic.mean).abs()
-            / low.immediate_dyadic.mean;
+        let rel =
+            (low.immediate_dyadic.mean - low.batched_dyadic.mean).abs() / low.immediate_dyadic.mean;
         assert!(rel < 0.25, "relative gap {rel}");
     }
 

@@ -67,10 +67,7 @@ mod tests {
     fn table_alignment() {
         let s = render_table(
             &["n", "M(n)"],
-            &[
-                vec!["1".into(), "0".into()],
-                vec!["16".into(), "64".into()],
-            ],
+            &[vec!["1".into(), "0".into()], vec!["16".into(), "64".into()]],
         );
         let lines: Vec<&str> = s.lines().collect();
         assert_eq!(lines.len(), 4);

@@ -1,7 +1,7 @@
 //! Parallel sweep execution.
 //!
 //! Experiment sweeps are embarrassingly parallel across their points;
-//! crossbeam scoped threads pull indices off a shared atomic counter and
+//! `std::thread::scope` workers pull indices off a shared atomic counter and
 //! write results through a `parking_lot` mutex — no `unsafe`, no cloning of
 //! inputs, results returned in input order.
 
@@ -26,9 +26,9 @@ where
     }
     let next = AtomicUsize::new(0);
     let slots: Vec<Mutex<Option<R>>> = items.iter().map(|_| Mutex::new(None)).collect();
-    crossbeam::thread::scope(|scope| {
+    std::thread::scope(|scope| {
         for _ in 0..threads {
-            scope.spawn(|_| loop {
+            scope.spawn(|| loop {
                 let i = next.fetch_add(1, Ordering::Relaxed);
                 if i >= items.len() {
                     break;
@@ -37,8 +37,7 @@ where
                 *slots[i].lock() = Some(r);
             });
         }
-    })
-    .expect("sweep worker panicked");
+    });
     slots
         .into_iter()
         .map(|m| m.into_inner().expect("every slot filled"))

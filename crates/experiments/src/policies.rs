@@ -5,8 +5,8 @@
 //! lengths, λ sweep — but with the full policy roster:
 //!
 //! * Delay Guaranteed (the paper's algorithm; arrival-independent),
-//! * immediate-service dyadic [9] (the paper's comparison baseline),
-//! * ERMT hierarchical merging [16] with its window tuned to the arrival
+//! * immediate-service dyadic \[9\] (the paper's comparison baseline),
+//! * ERMT hierarchical merging \[16\] with its window tuned to the arrival
 //!   rate (the same renewal threshold as patching),
 //! * threshold patching with the classical optimal threshold [22, 18],
 //! * greedy patching (join whenever feasible),
@@ -69,7 +69,7 @@ pub struct PoliciesRow {
     /// Plain batching.
     pub plain_batching: Summary,
     /// Clairvoyant off-line optimum on the batched arrivals (the banded
-    /// general-arrivals forest DP of [6]) — the floor every demand-driven
+    /// general-arrivals forest DP of \[6\]) — the floor every demand-driven
     /// policy is measured against.
     pub offline_opt: Summary,
 }
@@ -90,8 +90,7 @@ fn offline_batched_optimal(arrivals: &[f64], media_slots: u64) -> f64 {
 pub fn compute(cfg: &PoliciesConfig) -> Vec<PoliciesRow> {
     let media = cfg.media_slots as f64;
     let horizon_slots = cfg.horizon_media * media;
-    let dg =
-        online_full_cost(cfg.media_slots, horizon_slots as u64) as f64 / media;
+    let dg = online_full_cost(cfg.media_slots, horizon_slots as u64) as f64 / media;
 
     parallel_map(&cfg.lambdas_pct, |&lambda_pct| {
         let interval = lambda_pct / 100.0 * media;
@@ -211,8 +210,8 @@ mod tests {
     fn everything_converges_when_sparse() {
         let rows = compute(&small());
         let sparse = rows.last().unwrap(); // λ = 5% ≫ delay
-        // With gaps of 5 slots on a 100-slot media every merger still merges,
-        // but the spread between the demand-driven policies narrows.
+                                           // With gaps of 5 slots on a 100-slot media every merger still merges,
+                                           // but the spread between the demand-driven policies narrows.
         let lo = sparse
             .dyadic
             .mean

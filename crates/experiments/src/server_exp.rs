@@ -32,11 +32,7 @@ pub struct ServerRow {
 
 /// Plans the catalog with a single uniform delay: the smallest candidate
 /// whose plan fits the budget.
-pub fn plan_uniform(
-    catalog: &Catalog,
-    budget: u64,
-    candidates: &[f64],
-) -> Option<DelayPlan> {
+pub fn plan_uniform(catalog: &Catalog, budget: u64, candidates: &[f64]) -> Option<DelayPlan> {
     candidates
         .iter()
         .map(|&d| plan_weighted(catalog, u64::MAX, &[d]).expect("single-delay plan"))
@@ -120,7 +116,11 @@ mod tests {
         for row in compute(&c, &budgets, &CANDS, 500) {
             match (row.uniform_delay, row.weighted_delay) {
                 (Some(u), Some(w)) => {
-                    assert!(w <= u + 1e-9, "budget {}: weighted {w} > uniform {u}", row.budget)
+                    assert!(
+                        w <= u + 1e-9,
+                        "budget {}: weighted {w} > uniform {u}",
+                        row.budget
+                    )
                 }
                 // Weighted plans are feasible whenever uniform plans are.
                 (Some(_), None) => panic!("weighted infeasible where uniform fits"),

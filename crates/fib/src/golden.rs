@@ -23,11 +23,123 @@ pub fn log_phi(x: f64) -> f64 {
     x.ln() / PHI.ln()
 }
 
-/// Binet's closed form `F_k = (φ^k − φ̂^k)/√5`, rounded to the nearest
-/// integer (exact for every `k` in the `u64` range).
+/// Binet's closed form `F_k = round(φ^k / √5)`, exact for every `k` with
+/// `F_k` in the `u64` range (`k ≤ 93`).
+///
+/// Plain `f64` evaluation of `φ^k` is *not* a sound way to compute this:
+/// from `k ≈ 71` the accumulated rounding error of `powf`/`powi` (tens of
+/// ulps at magnitude `≈ 10^15`) exceeds the distance from `φ^k/√5` to the
+/// nearest integer (`|φ̂|^k/√5`, which shrinks geometrically), so the rounded
+/// result flips off by one. This implementation therefore evaluates the
+/// power in double-double ("compensated") arithmetic, which carries ≈ 32
+/// significant digits — far more than the 19 digits of `F_93` — so the final
+/// rounding is exact across the whole supported range.
+///
+/// # Panics
+/// Panics if `k > MAX_FIB_INDEX_U64` (the result would overflow `u64`).
 pub fn binet_approx(k: usize) -> u64 {
-    let k = k as f64;
-    ((PHI.powf(k) - PHI_HAT.powf(k)) / SQRT5).round() as u64
+    assert!(
+        k <= crate::seq::MAX_FIB_INDEX_U64,
+        "F_{k} does not fit in u64"
+    );
+    // |φ̂|^k/√5 < 1/2 for all k ≥ 0, so rounding φ^k/√5 alone yields F_k.
+    let sqrt5 = Dd::sqrt5();
+    let phi = Dd::phi(sqrt5);
+    phi.powi(k as u32).div(sqrt5).round_to_u64()
+}
+
+/// A double-double value `hi + lo` with `|lo| ≤ ulp(hi)/2`: an unevaluated
+/// sum of two `f64`s carrying ≈ 106 bits of significand.
+#[derive(Debug, Clone, Copy)]
+struct Dd {
+    hi: f64,
+    lo: f64,
+}
+
+impl Dd {
+    fn from_f64(x: f64) -> Self {
+        Dd { hi: x, lo: 0.0 }
+    }
+
+    /// Error-free sum of two `f64`s (Knuth two-sum).
+    fn two_sum(a: f64, b: f64) -> Self {
+        let s = a + b;
+        let bb = s - a;
+        let err = (a - (s - bb)) + (b - bb);
+        Dd { hi: s, lo: err }
+    }
+
+    /// Error-free product of two `f64`s via fused multiply-add.
+    fn two_prod(a: f64, b: f64) -> Self {
+        let p = a * b;
+        let err = a.mul_add(b, -p);
+        Dd { hi: p, lo: err }
+    }
+
+    fn mul(self, rhs: Self) -> Self {
+        let p = Self::two_prod(self.hi, rhs.hi);
+        let lo = p.lo + (self.hi * rhs.lo + self.lo * rhs.hi);
+        let s = Self::two_sum(p.hi, lo);
+        Dd { hi: s.hi, lo: s.lo }
+    }
+
+    fn div(self, rhs: Self) -> Self {
+        let q1 = self.hi / rhs.hi;
+        // Remainder r = self − q1·rhs, evaluated in double-double.
+        let p = rhs.mul(Self::from_f64(q1));
+        let r_hi = Self::two_sum(self.hi, -p.hi);
+        let r = r_hi.lo + (self.lo - p.lo);
+        let q2 = (r_hi.hi + r) / rhs.hi;
+        Self::two_sum(q1, q2)
+    }
+
+    /// `self^k` by binary exponentiation (≈ 2·log₂ k double-double
+    /// multiplications, each with relative error ≈ 2⁻¹⁰⁴).
+    fn powi(self, mut k: u32) -> Self {
+        let mut base = self;
+        let mut acc = Dd::from_f64(1.0);
+        while k > 0 {
+            if k & 1 == 1 {
+                acc = acc.mul(base);
+            }
+            base = base.mul(base);
+            k >>= 1;
+        }
+        acc
+    }
+
+    /// `√5` to double-double precision: one Newton correction on the
+    /// correctly-rounded `f64` square root.
+    fn sqrt5() -> Self {
+        let hi = 5.0_f64.sqrt();
+        let p = Self::two_prod(hi, hi);
+        let residual = (5.0 - p.hi) - p.lo;
+        Dd {
+            hi,
+            lo: residual / (2.0 * hi),
+        }
+    }
+
+    /// `φ = (1 + √5)/2` to double-double precision (halving is exact).
+    fn phi(sqrt5: Self) -> Self {
+        let s = Self::two_sum(1.0, sqrt5.hi);
+        let sum = Self::two_sum(s.hi, s.lo + sqrt5.lo);
+        Dd {
+            hi: sum.hi / 2.0,
+            lo: sum.lo / 2.0,
+        }
+    }
+
+    /// Nearest integer as `u64`. The value must be non-negative and the
+    /// total double-double error must be below 1/2 for this to be exact.
+    fn round_to_u64(self) -> u64 {
+        let base = self.hi.round();
+        let correction = ((self.hi - base) + self.lo).round();
+        // `base` is an integer-valued f64 < 2^64, so the cast is exact;
+        // the correction covers the case where hi alone rounds the wrong
+        // way across an integer boundary (|correction| ≤ 1 in practice).
+        (base as i128 + correction as i128) as u64
+    }
 }
 
 /// The limit ratio of Theorems 19/20: `log_φ 2 ≈ 1.4404`.
@@ -47,10 +159,16 @@ mod tests {
     }
 
     #[test]
-    fn binet_is_exact_for_moderate_indices() {
-        for k in 0..=70 {
+    fn binet_is_exact_across_the_u64_range() {
+        for k in 0..=crate::seq::MAX_FIB_INDEX_U64 {
             assert_eq!(binet_approx(k), fib(k), "k = {k}");
         }
+    }
+
+    #[test]
+    #[should_panic]
+    fn binet_rejects_overflowing_index() {
+        let _ = binet_approx(crate::seq::MAX_FIB_INDEX_U64 + 1);
     }
 
     #[test]

@@ -14,7 +14,7 @@
 //! * [`FibTable`] — a precomputed table with rank queries
 //!   (`largest_index_le`, `smallest_index_ge`) used on the hot paths of the
 //!   closed-form algorithms;
-//! * [`zeckendorf`] — the unique representation of `n` as a sum of
+//! * [`zeckendorf()`] — the unique representation of `n` as a sum of
 //!   non-adjacent Fibonacci numbers (used by property tests and by the
 //!   diagnostics in `sm-experiments`);
 //! * [`golden`] — golden-ratio asymptotics (`log_φ`, Binet bounds) backing the

@@ -1,5 +1,5 @@
 //! `O(n²)` dynamic programs for the delay-guaranteed merge cost — the
-//! baseline implied by the general solution of [6] (Eq. (5) of the paper):
+//! baseline implied by the general solution of \[6\] (Eq. (5) of the paper):
 //!
 //! ```text
 //! M(1) = 0,   M(n) = min_{1 ≤ h ≤ n−1} { M(h) + M(n−h) + 2n − h − 2 }
@@ -87,7 +87,9 @@ mod tests {
     #[test]
     fn paper_table_of_mn() {
         // §3.1: n = 1..16 -> 0 1 3 6 9 13 17 21 26 31 36 41 46 52 58 64.
-        let expect = [0u64, 0, 1, 3, 6, 9, 13, 17, 21, 26, 31, 36, 41, 46, 52, 58, 64];
+        let expect = [
+            0u64, 0, 1, 3, 6, 9, 13, 17, 21, 26, 31, 36, 41, 46, 52, 58, 64,
+        ];
         let table = merge_cost_table(16);
         assert_eq!(table, expect);
     }

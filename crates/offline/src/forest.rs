@@ -192,11 +192,7 @@ pub fn optimal_s_bounded_buffer(
 }
 
 /// Builds the bounded-buffer optimal forest (Theorem 16).
-pub fn optimal_forest_bounded_buffer(
-    media_len: u64,
-    n: usize,
-    buffer: u64,
-) -> OptimalForestPlan {
+pub fn optimal_forest_bounded_buffer(media_len: u64, n: usize, buffer: u64) -> OptimalForestPlan {
     let cf = ClosedForm::new();
     let (s, _) = optimal_s_bounded_buffer(&cf, media_len, n as u64, buffer);
     forest_with_s(&cf, media_len, n, s)
@@ -314,8 +310,13 @@ mod tests {
             for n in 1..=150usize {
                 let plan = optimal_forest(media_len, n);
                 let times = consecutive_slots(n);
-                validate_forest(&plan.forest, &times, media_len, ValidationOptions::default())
-                    .unwrap_or_else(|e| panic!("L = {media_len}, n = {n}: {e}"));
+                validate_forest(
+                    &plan.forest,
+                    &times,
+                    media_len,
+                    ValidationOptions::default(),
+                )
+                .unwrap_or_else(|e| panic!("L = {media_len}, n = {n}: {e}"));
             }
         }
     }

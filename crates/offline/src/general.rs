@@ -1,5 +1,5 @@
 //! Optimal stream merging for *general* arrival sequences — the machinery of
-//! Bar-Noy & Ladner [6] that this paper's delay-guaranteed `O(n)` result
+//! Bar-Noy & Ladner \[6\] that this paper's delay-guaranteed `O(n)` result
 //! improves upon, and the strongest available baseline for the on-line
 //! comparisons: given the actual (possibly irregular) arrivals, what would a
 //! clairvoyant server have paid?
@@ -13,7 +13,7 @@
 //! ```
 //!
 //! Naively `O(n³)`; with the Knuth-style monotonicity of the optimal split
-//! (the quadrangle-inequality argument underlying [6]'s `O(n²)` bound) the
+//! (the quadrangle-inequality argument underlying \[6\]'s `O(n²)` bound) the
 //! tables fill in `O(n²)`. Both are implemented; tests cross-check them.
 
 use sm_core::{MergeForest, MergeTree, TimeScalar};
@@ -286,7 +286,9 @@ mod tests {
         // Deterministic pseudo-random gaps (LCG) — no rand dependency here.
         let mut state = 0x9E3779B97F4A7C15u64;
         let mut next = move || {
-            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             (state >> 33) % 7 + 1
         };
         for trial in 0..30 {
@@ -410,10 +412,7 @@ mod tests {
         let n = 5000usize;
         let times = consecutive_slots(n);
         let (_, cost) = optimal_forest(&times, 100);
-        assert_eq!(
-            cost as u64,
-            crate::forest::optimal_full_cost(100, n as u64)
-        );
+        assert_eq!(cost as u64, crate::forest::optimal_full_cost(100, n as u64));
     }
 
     #[test]

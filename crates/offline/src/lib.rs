@@ -1,5 +1,5 @@
 //! Optimal off-line algorithms for delay-guaranteed stream merging
-//! (paper §3) plus the general-arrivals machinery of [6] used as a baseline.
+//! (paper §3) plus the general-arrivals machinery of \[6\] used as a baseline.
 //!
 //! The centerpiece results reproduced here:
 //!
@@ -21,7 +21,7 @@
 //! * **Theorems 8, 13, 14** — asymptotic bounds ([`bounds`]).
 //!
 //! [`dp`] holds the `O(n²)` dynamic programs the closed forms are verified
-//! against, and [`general`] the interval DP of [6] for *arbitrary* arrival
+//! against, and [`general`] the interval DP of \[6\] for *arbitrary* arrival
 //! times (the `O(n²)` algorithm this paper's `O(n)` result improves upon).
 
 pub mod bounds;

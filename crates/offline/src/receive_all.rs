@@ -149,10 +149,7 @@ pub fn optimal_forest(media_len: u64, n: usize) -> (MergeForest, u64) {
     for _ in 0..(s - r) {
         trees.push(optimal_merge_tree(p as usize));
     }
-    (
-        MergeForest::from_trees(trees).expect("s >= 1"),
-        best_cost,
-    )
+    (MergeForest::from_trees(trees).expect("s >= 1"), best_cost)
 }
 
 /// The merge-cost ratio `M(n)/Mω(n)` of Theorem 19 (→ `log_φ 2 ≈ 1.44`).
@@ -295,7 +292,10 @@ mod tests {
             let two = crate::forest::optimal_full_cost_with(&cf, media_len, n) as f64;
             let all = optimal_full_cost(media_len, n) as f64;
             let ratio = two / all;
-            assert!(ratio > prev, "L = {media_len}: ratio {ratio} not increasing");
+            assert!(
+                ratio > prev,
+                "L = {media_len}: ratio {ratio} not increasing"
+            );
             assert!(ratio < limit + 0.01, "L = {media_len}: ratio {ratio}");
             prev = ratio;
         }

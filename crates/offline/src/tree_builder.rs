@@ -70,11 +70,7 @@ mod tests {
             let t = optimal_merge_tree(n);
             assert_eq!(t.len(), n);
             let times = consecutive_slots(n);
-            assert_eq!(
-                merge_cost(&t, &times) as u64,
-                m_closed(n as u64),
-                "n = {n}"
-            );
+            assert_eq!(merge_cost(&t, &times) as u64, m_closed(n as u64), "n = {n}");
         }
     }
 

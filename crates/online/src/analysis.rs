@@ -59,7 +59,10 @@ mod tests {
         for n in [300u64, 3_000, 30_000, 300_000] {
             let r = competitive_ratio(media_len, n);
             assert!(r >= 1.0 - 1e-12);
-            assert!(r <= prev + 1e-9, "ratio must (weakly) improve: {r} > {prev}");
+            assert!(
+                r <= prev + 1e-9,
+                "ratio must (weakly) improve: {r} > {prev}"
+            );
             prev = r;
         }
         assert!(prev < 1.001, "ratio at n = 3·10⁵ should be ~1, got {prev}");

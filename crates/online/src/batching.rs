@@ -43,12 +43,7 @@ pub fn plain_batching_cost(arrivals: &[f64], delay: f64, media_len: f64) -> f64 
 
 /// Batched dyadic: dyadic stream merging over the batch times. Returns
 /// total bandwidth in the same time units as `media_len`.
-pub fn batched_dyadic_cost(
-    cfg: DyadicConfig,
-    arrivals: &[f64],
-    delay: f64,
-    media_len: f64,
-) -> f64 {
+pub fn batched_dyadic_cost(cfg: DyadicConfig, arrivals: &[f64], delay: f64, media_len: f64) -> f64 {
     let batches = batch_arrivals(arrivals, delay);
     if batches.is_empty() {
         return 0.0;
@@ -107,8 +102,7 @@ mod tests {
     fn sparse_arrivals_make_batched_dyadic_degenerate_to_batching() {
         // Arrivals farther apart than β·L never merge.
         let arrivals = [0.5, 30.0, 61.0];
-        let merged =
-            batched_dyadic_cost(DyadicConfig::golden_poisson(), &arrivals, 1.0, 20.0);
+        let merged = batched_dyadic_cost(DyadicConfig::golden_poisson(), &arrivals, 1.0, 20.0);
         assert_eq!(merged, 60.0);
     }
 }

@@ -164,9 +164,7 @@ impl DelayGuaranteedOnline {
         }
         if rem > 0 {
             let parents = self.template.to_parents();
-            trees.push(
-                MergeTree::from_parents(&parents[..rem]).expect("prefix tree is valid"),
-            );
+            trees.push(MergeTree::from_parents(&parents[..rem]).expect("prefix tree is valid"));
         }
         MergeForest::from_trees(trees).expect("n >= 1 yields a tree")
     }
@@ -353,8 +351,7 @@ mod tests {
         let n = 1000u64;
         let mut last = u64::MAX;
         for buffer in [0u64, 1, 2, 5, 10, 20, 50] {
-            let cost = DelayGuaranteedOnline::with_buffer_bound(100, buffer)
-                .total_cost_after(n);
+            let cost = DelayGuaranteedOnline::with_buffer_bound(100, buffer).total_cost_after(n);
             assert!(cost <= last, "B = {buffer}: {cost} > {last}");
             last = cost;
         }
@@ -376,8 +373,7 @@ mod tests {
             let alg = DelayGuaranteedOnline::with_buffer_bound(40, buffer);
             for n in [10u64, 55, 160] {
                 let online = alg.total_cost_after(n);
-                let (_, offline) =
-                    sm_offline::forest::optimal_s_bounded_buffer(&cf, 40, n, buffer);
+                let (_, offline) = sm_offline::forest::optimal_s_bounded_buffer(&cf, 40, n, buffer);
                 assert!(
                     online >= offline,
                     "B = {buffer}, n = {n}: {online} < {offline}"

@@ -1,5 +1,5 @@
 //! The (α,β)-dyadic stream-merging algorithm of Coffman, Jelenković and
-//! Momčilović [9] — the representative on-line comparison algorithm of §4.2.
+//! Momčilović \[9\] — the representative on-line comparison algorithm of §4.2.
 //!
 //! A root stream started at time `x` accepts merges from arrivals in
 //! `(x, x + β·L]`. That window is split into geometrically shrinking
@@ -23,14 +23,14 @@ use sm_core::{merge_cost, MergeForest, MergeTree};
 /// Parameters of the (α,β)-dyadic algorithm.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct DyadicConfig {
-    /// Geometric interval ratio (`> 1`). [9] uses 2; §4.2 uses φ.
+    /// Geometric interval ratio (`> 1`). \[9\] uses 2; §4.2 uses φ.
     pub alpha: f64,
     /// Merge-window size as a fraction of the stream length (`0 < β ≤ 1`).
     pub beta: f64,
 }
 
 impl DyadicConfig {
-    /// The original parameters of [9]: α = 2, β = 0.5.
+    /// The original parameters of \[9\]: α = 2, β = 0.5.
     pub fn classic() -> Self {
         Self {
             alpha: 2.0,
@@ -173,7 +173,9 @@ impl DyadicMerger {
         let i = if frac >= 1.0 {
             f64::INFINITY
         } else {
-            ((1.0 / (1.0 - frac)).ln() / self.cfg.alpha.ln()).ceil().max(1.0)
+            ((1.0 / (1.0 - frac)).ln() / self.cfg.alpha.ln())
+                .ceil()
+                .max(1.0)
         };
         // Clamp: beyond ~60 levels the sub-interval is numerically empty;
         // treat t as sitting at its own point interval.
@@ -194,9 +196,8 @@ impl DyadicMerger {
                 .get(idx + 1)
                 .copied()
                 .unwrap_or(self.times.len());
-            let local: Vec<Option<usize>> = (s..e)
-                .map(|g| self.parents[g].map(|p| p - s))
-                .collect();
+            let local: Vec<Option<usize>> =
+                (s..e).map(|g| self.parents[g].map(|p| p - s)).collect();
             trees.push(MergeTree::from_parents(&local).expect("dyadic tree is valid"));
         }
         (
@@ -284,11 +285,7 @@ mod tests {
         // Inside I_1 = (0, 2.5] of the root, the child at 0.5 re-splits
         // (0.5, 2.5]: its I_1 is (0.5, 1.5]. Arrival 1.2 goes under 0.5;
         // arrival 2.0 (in (1.5, 2.5]) also under 0.5; arrival 2.6 under root.
-        let m = feed(
-            DyadicConfig::classic(),
-            10.0,
-            &[0.0, 0.5, 1.2, 2.0, 2.6],
-        );
+        let m = feed(DyadicConfig::classic(), 10.0, &[0.0, 0.5, 1.2, 2.0, 2.6]);
         let (forest, _) = m.forest();
         let t = &forest.trees()[0];
         assert_eq!(t.parent(1), Some(0)); // 0.5 under root
@@ -352,7 +349,7 @@ mod tests {
     #[test]
     #[should_panic]
     fn out_of_order_arrivals_panic() {
-        let mut m = DyadicMerger::new(DyadicConfig::classic(), 10.0, );
+        let mut m = DyadicMerger::new(DyadicConfig::classic(), 10.0);
         m.on_arrival(1.0);
         m.on_arrival(0.5);
     }

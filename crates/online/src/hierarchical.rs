@@ -1,5 +1,5 @@
-//! Hierarchical stream merging à la Eager–Vernon–Zahorjan [16] — the
-//! greedy on-line policy family the paper's §4.2 comparison study [4]
+//! Hierarchical stream merging à la Eager–Vernon–Zahorjan \[16\] — the
+//! greedy on-line policy family the paper's §4.2 comparison study \[4\]
 //! benchmarked alongside the dyadic algorithm.
 //!
 //! On each arrival the policy picks a *merge target* among the streams that
@@ -198,9 +198,8 @@ impl HierarchicalMerger {
                 .get(idx + 1)
                 .copied()
                 .unwrap_or(self.times.len());
-            let local: Vec<Option<usize>> = (s..e)
-                .map(|g| self.parents[g].map(|p| p - s))
-                .collect();
+            let local: Vec<Option<usize>> =
+                (s..e).map(|g| self.parents[g].map(|p| p - s)).collect();
             trees.push(MergeTree::from_parents(&local).expect("spine attach is valid"));
         }
         (
@@ -291,12 +290,22 @@ mod tests {
     fn scheduled_terminations_are_honored() {
         // Arrivals 0, 1, 2: the stream of 1 ends at 2, but the client at 2
         // would catch it only at 2·2 − 1 = 3 ⇒ unreachable, goes to root.
-        let m = feed(MergePolicy::EarliestReachable, 100.0, 99.0, &[0.0, 1.0, 2.0]);
+        let m = feed(
+            MergePolicy::EarliestReachable,
+            100.0,
+            99.0,
+            &[0.0, 1.0, 2.0],
+        );
         let (forest, _) = m.forest();
         let t = &forest.trees()[0];
         assert_eq!(t.parent(2), Some(0));
         // Same for a long-dead stream.
-        let m = feed(MergePolicy::EarliestReachable, 100.0, 99.0, &[0.0, 1.0, 4.0]);
+        let m = feed(
+            MergePolicy::EarliestReachable,
+            100.0,
+            99.0,
+            &[0.0, 1.0, 4.0],
+        );
         assert_eq!(m.forest().0.trees()[0].parent(2), Some(0));
     }
 
@@ -326,8 +335,14 @@ mod tests {
         let (hf, _) = h.forest();
         let (pf, _) = p.forest();
         assert_eq!(
-            hf.trees().iter().map(|t| t.to_parents()).collect::<Vec<_>>(),
-            pf.trees().iter().map(|t| t.to_parents()).collect::<Vec<_>>()
+            hf.trees()
+                .iter()
+                .map(|t| t.to_parents())
+                .collect::<Vec<_>>(),
+            pf.trees()
+                .iter()
+                .map(|t| t.to_parents())
+                .collect::<Vec<_>>()
         );
     }
 
@@ -367,11 +382,7 @@ mod tests {
         for cutoff in [5.0f64, 10.0, 20.0] {
             let ts: Vec<f64> = (0..2000).map(|i| i as f64 * 0.25).collect();
             let media = 60.0;
-            let mut m = HierarchicalMerger::new(
-                MergePolicy::EarliestReachable,
-                media,
-                cutoff,
-            );
+            let mut m = HierarchicalMerger::new(MergePolicy::EarliestReachable, media, cutoff);
             for &t in &ts {
                 m.on_arrival(t);
             }

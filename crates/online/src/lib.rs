@@ -7,14 +7,14 @@
 //!   receiving programs are table lookups (`O(1)` amortized per arrival),
 //!   and Theorems 21/22 bound its cost against the off-line optimum.
 //! * [`dyadic`] — the (α,β)-dyadic stream-merging algorithm of Coffman,
-//!   Jelenković and Momčilović [9], the comparison baseline of §4.2
+//!   Jelenković and Momčilović \[9\], the comparison baseline of §4.2
 //!   (stack-based on-line construction, immediate or batched service).
 //! * [`batching`] — plain batching (a full stream per non-empty delay
 //!   window), the classical baseline of Theorem 14.
 //! * [`patching`] — the depth-one merging predecessor (threshold patching,
 //!   with the classical optimal-threshold formula) [22, 18, 35].
 //! * [`hierarchical`] — the greedy ERMT policy family of
-//!   Eager–Vernon–Zahorjan [16], benchmarked by the study [4] the paper's
+//!   Eager–Vernon–Zahorjan \[16\], benchmarked by the study \[4\] the paper's
 //!   §4.2 relies on.
 //! * [`analysis`] — the competitive bounds of Theorems 21 and 22.
 //! * [`hybrid`] — the §5 hybrid server (DG under load, dyadic when idle).

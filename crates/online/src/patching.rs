@@ -1,5 +1,5 @@
-//! Patching (Hua–Cai–Sheu [22]; threshold analysis: Gao–Towsley [18],
-//! Sen–Gao–Rexford–Towsley [35]) — the depth-one special case of stream
+//! Patching (Hua–Cai–Sheu \[22\]; threshold analysis: Gao–Towsley \[18\],
+//! Sen–Gao–Rexford–Towsley \[35\]) — the depth-one special case of stream
 //! merging, cited by the paper (§1) as one of the dynamic-allocation
 //! predecessor techniques.
 //!
@@ -18,10 +18,10 @@
 //! patches grow linearly in the gap — while the classical analysis for
 //! Poisson arrivals of rate `λ` gives the optimal threshold
 //! `τ* = (√(1 + 2Lλ) − 1)/λ` (minimizing expected cost per busy period, cf.
-//! controlled multicast [18]). [`optimal_threshold`] implements it and the
+//! controlled multicast \[18\]). [`optimal_threshold`] implements it and the
 //! tests confirm it sits at the empirical minimum.
 //!
-//! Stream *tapping* (Carter–Long [10,11]) coincides with threshold patching
+//! Stream *tapping* (Carter–Long \[10,11\]) coincides with threshold patching
 //! in this bandwidth-cost model: its extra tap types optimize disk I/O
 //! reuse, not the multicast bandwidth the paper counts (see DESIGN.md).
 

@@ -148,7 +148,11 @@ pub fn simulate_requests(
     RequestReport {
         served,
         declined: 0,
-        mean_wait: if served > 0 { wait_sum / served as f64 } else { 0.0 },
+        mean_wait: if served > 0 {
+            wait_sum / served as f64
+        } else {
+            0.0
+        },
         max_wait,
         expected_delay_bound: plan.expected_delay,
         per_title,
@@ -183,11 +187,7 @@ mod tests {
             let profile = periodic_profile(l);
             let s = steady_state_bandwidth(l);
             assert_eq!(profile.len(), s.period as usize);
-            assert_eq!(
-                profile.iter().copied().max().unwrap(),
-                s.peak,
-                "media {l}"
-            );
+            assert_eq!(profile.iter().copied().max().unwrap(), s.peak, "media {l}");
         }
     }
 
@@ -196,7 +196,12 @@ mod tests {
         let catalog = catalog();
         let plan = plan_weighted(&catalog, u64::MAX, &[2.0, 5.0]).unwrap();
         let agg = aggregate_profile(&catalog, &plan, 2_000);
-        assert!(agg.peak <= plan.total_peak, "{} > {}", agg.peak, plan.total_peak);
+        assert!(
+            agg.peak <= plan.total_peak,
+            "{} > {}",
+            agg.peak,
+            plan.total_peak
+        );
         assert!(agg.average <= agg.peak as f64);
         assert!(agg.peak > 0);
     }
@@ -208,10 +213,7 @@ mod tests {
         let report = simulate_requests(&catalog, &plan, 1_000.0, 3.0, 11);
         assert_eq!(report.declined, 0);
         assert!(report.served > 2_000);
-        let max_delay = plan
-            .delays_minutes
-            .iter()
-            .fold(0.0f64, |a, &b| a.max(b));
+        let max_delay = plan.delays_minutes.iter().fold(0.0f64, |a, &b| a.max(b));
         assert!(report.max_wait <= max_delay + 1e-9);
         assert!(report.mean_wait <= report.max_wait);
     }

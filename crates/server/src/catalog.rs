@@ -34,9 +34,16 @@ impl Catalog {
     /// # Panics
     /// Panics if empty, or if any duration/weight is non-positive.
     pub fn new(titles: Vec<Title>) -> Self {
-        assert!(!titles.is_empty(), "catalog must contain at least one title");
+        assert!(
+            !titles.is_empty(),
+            "catalog must contain at least one title"
+        );
         for t in &titles {
-            assert!(t.duration_minutes > 0.0, "{}: non-positive duration", t.name);
+            assert!(
+                t.duration_minutes > 0.0,
+                "{}: non-positive duration",
+                t.name
+            );
             assert!(t.weight > 0.0, "{}: non-positive weight", t.name);
         }
         Self { titles }

@@ -62,12 +62,7 @@ pub struct DynamicReport {
 /// Materializes the exact stream intervals (in minutes) of one title served
 /// with delay `delay_minutes` over `[t0, t1)`. Streams started before `t1`
 /// run to their natural end (possibly past `t1`).
-fn title_streams(
-    duration_minutes: f64,
-    delay_minutes: u64,
-    t0: u64,
-    t1: u64,
-) -> Vec<(u64, u64)> {
+fn title_streams(duration_minutes: f64, delay_minutes: u64, t0: u64, t1: u64) -> Vec<(u64, u64)> {
     let d = delay_minutes;
     let media_len = ((duration_minutes / d as f64).ceil() as u64).max(1);
     let slots = ((t1 - t0) / d) as usize;
@@ -103,7 +98,9 @@ pub fn simulate_dynamic(
     assert!(!epochs.is_empty(), "need at least one epoch");
     assert_eq!(epochs[0].start_minute, 0, "first epoch must start at 0");
     assert!(
-        epochs.windows(2).all(|w| w[0].start_minute < w[1].start_minute),
+        epochs
+            .windows(2)
+            .all(|w| w[0].start_minute < w[1].start_minute),
         "epochs must be strictly ordered"
     );
     assert!(
@@ -217,8 +214,8 @@ mod tests {
         assert!(report.steady_peak <= budget);
         // The transition may briefly stack old and new streams, but never
         // beyond the two adjacent plans combined.
-        let combined = report.epoch_plans[0].plan.total_peak
-            + report.epoch_plans[1].plan.total_peak;
+        let combined =
+            report.epoch_plans[0].plan.total_peak + report.epoch_plans[1].plan.total_peak;
         assert!(report.transition_peak <= combined);
     }
 

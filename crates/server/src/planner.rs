@@ -90,8 +90,10 @@ pub fn plan_weighted(
             if choice[i] + 1 >= candidates_minutes.len() {
                 continue;
             }
-            let cur_peak =
-                peak_for(&mut cache, catalog.titles()[i].media_len(candidates_minutes[choice[i]]));
+            let cur_peak = peak_for(
+                &mut cache,
+                catalog.titles()[i].media_len(candidates_minutes[choice[i]]),
+            );
             let next_peak = peak_for(
                 &mut cache,
                 catalog.titles()[i].media_len(candidates_minutes[choice[i] + 1]),
@@ -197,8 +199,12 @@ mod tests {
     fn plan_respects_budget_and_popularity() {
         let catalog = small_catalog();
         // Find a budget between all-min and all-max demand.
-        let all_min = plan_weighted(&catalog, u64::MAX, &[1.0]).unwrap().total_peak;
-        let all_max = plan_weighted(&catalog, u64::MAX, &[10.0]).unwrap().total_peak;
+        let all_min = plan_weighted(&catalog, u64::MAX, &[1.0])
+            .unwrap()
+            .total_peak;
+        let all_max = plan_weighted(&catalog, u64::MAX, &[10.0])
+            .unwrap()
+            .total_peak;
         let budget = (all_min + all_max) / 2;
         let plan = plan_weighted(&catalog, budget, &CANDS).unwrap();
         assert!(plan.total_peak <= budget);
@@ -210,7 +216,9 @@ mod tests {
     #[test]
     fn greedy_matches_brute_force_objective() {
         let catalog = small_catalog();
-        let all_min = plan_weighted(&catalog, u64::MAX, &[1.0]).unwrap().total_peak;
+        let all_min = plan_weighted(&catalog, u64::MAX, &[1.0])
+            .unwrap()
+            .total_peak;
         for budget in [all_min / 2, all_min * 2 / 3, all_min * 4 / 5] {
             let greedy = plan_weighted(&catalog, budget, &CANDS);
             let exact = brute_force_plan(&catalog, budget, &CANDS);
@@ -235,7 +243,9 @@ mod tests {
     #[test]
     fn tighter_budget_never_decreases_expected_delay() {
         let catalog = small_catalog();
-        let all_min = plan_weighted(&catalog, u64::MAX, &[1.0]).unwrap().total_peak;
+        let all_min = plan_weighted(&catalog, u64::MAX, &[1.0])
+            .unwrap()
+            .total_peak;
         let mut last = 0.0f64;
         for budget in (1..=all_min).rev().step_by(3) {
             if let Some(plan) = plan_weighted(&catalog, budget, &CANDS) {

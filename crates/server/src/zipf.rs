@@ -22,7 +22,10 @@ impl Zipf {
     /// Panics if `n == 0` or `s < 0` or `s` is not finite.
     pub fn new(n: usize, s: f64) -> Self {
         assert!(n >= 1, "need at least one title");
-        assert!(s >= 0.0 && s.is_finite(), "exponent must be finite and >= 0");
+        assert!(
+            s >= 0.0 && s.is_finite(),
+            "exponent must be finite and >= 0"
+        );
         let mut cdf: Vec<f64> = Vec::with_capacity(n);
         let mut acc = 0.0;
         for i in 1..=n {

@@ -81,15 +81,7 @@ pub fn simulate_with(
         let local_times = &times[range.clone()];
         let local_specs = &specs[range.clone()];
         for c in 0..tree.len() {
-            let report = run_client(
-                tree,
-                local_times,
-                local_specs,
-                media_len,
-                base,
-                c,
-                config,
-            )?;
+            let report = run_client(tree, local_times, local_specs, media_len, base, c, config)?;
             clients.push(report);
         }
     }

@@ -17,7 +17,9 @@ pub struct StreamSpec {
 impl StreamSpec {
     /// Slot in which `part` is broadcast, if the stream carries it.
     pub fn broadcast_slot(&self, part: i64) -> Option<i64> {
-        (1..=self.length).contains(&part).then(|| self.start + part - 1)
+        (1..=self.length)
+            .contains(&part)
+            .then(|| self.start + part - 1)
     }
 
     /// End time of the stream (exclusive).

@@ -56,7 +56,10 @@ impl PoissonProcess {
     /// # Panics
     /// Panics if `mean_interarrival <= 0`.
     pub fn new(mean_interarrival: f64, seed: u64) -> Self {
-        assert!(mean_interarrival > 0.0, "mean inter-arrival must be positive");
+        assert!(
+            mean_interarrival > 0.0,
+            "mean inter-arrival must be positive"
+        );
         Self {
             mean: mean_interarrival,
             rng: SmallRng::seed_from_u64(seed),

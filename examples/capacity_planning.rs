@@ -53,9 +53,9 @@ fn main() {
             .map(|(d, _)| *d)
             .min();
         match best {
-            Some(d) => println!(
-                "budget of {budget:>2} channels -> offer a {d}-minute guaranteed delay"
-            ),
+            Some(d) => {
+                println!("budget of {budget:>2} channels -> offer a {d}-minute guaranteed delay")
+            }
             None => println!(
                 "budget of {budget:>2} channels -> not satisfiable even at 40-minute delay"
             ),

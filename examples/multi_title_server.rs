@@ -8,9 +8,7 @@
 //!
 //! Run with: `cargo run --release --example multi_title_server`
 
-use stream_merging::server::{
-    aggregate_profile, plan_weighted, simulate_requests, Catalog,
-};
+use stream_merging::server::{aggregate_profile, plan_weighted, simulate_requests, Catalog};
 
 fn main() {
     let catalog = Catalog::zipf(12, 1.0, &[120.0, 90.0, 100.0]);

@@ -31,13 +31,19 @@ fn main() {
     // -- The paper's Fig. 3 (L = 15, n = 8) ------------------------------
     let plan = optimal_forest(15, 8);
     let times = consecutive_slots(8);
-    println!("== Fig. 3 reproduction: L = 15, n = 8, Fcost = {} ==", plan.cost);
+    println!(
+        "== Fig. 3 reproduction: L = 15, n = 8, Fcost = {} ==",
+        plan.cost
+    );
     println!("{}", diagram::render_forest(&plan.forest, &times, 15));
 
     // Client H's receiving program, as walked through in §2 of the paper.
     let tree = &plan.forest.trees()[0];
     let prog = ReceivingProgram::build(tree, &times, 15, 7);
-    println!("receiving program of client H (arrival 7): path {:?}", prog.path);
+    println!(
+        "receiving program of client H (arrival 7): path {:?}",
+        prog.path
+    );
     for seg in &prog.segments {
         println!(
             "  from stream {}: parts {:>2}..={:<2}",
@@ -49,13 +55,15 @@ fn main() {
     let report = simulate(&plan.forest, &times, 15).expect("schedule must execute");
     println!("\n== Simulation ==");
     println!("transmitted units: {}", report.total_units);
+    println!("analytic Fcost:    {}", full_cost(&plan.forest, &times, 15));
     println!(
-        "analytic Fcost:    {}",
-        full_cost(&plan.forest, &times, 15)
+        "peak bandwidth:    {} concurrent streams",
+        report.bandwidth.peak()
     );
-    println!("peak bandwidth:    {} concurrent streams", report.bandwidth.peak());
     let max_buf = report.clients.iter().map(|c| c.max_buffer).max().unwrap();
     println!("max client buffer: {max_buf} parts");
-    println!("all clients play back with zero stalls: min slack = {}",
-        report.clients.iter().map(|c| c.min_slack).min().unwrap());
+    println!(
+        "all clients play back with zero stalls: min slack = {}",
+        report.clients.iter().map(|c| c.min_slack).min().unwrap()
+    );
 }

@@ -19,7 +19,11 @@ fn main() {
     println!("Reservations at slots {times:?}, media length {media_len} slots\n");
 
     let (forest, cost) = general::optimal_forest(&times, media_len);
-    println!("optimal plan: {} full streams, {} slot-units total", forest.num_trees(), cost);
+    println!(
+        "optimal plan: {} full streams, {} slot-units total",
+        forest.num_trees(),
+        cost
+    );
     println!(
         "(dedicated streams would cost {}, batching to shared slots {})\n",
         times.len() as u64 * media_len,
@@ -54,8 +58,11 @@ fn main() {
 
     let report = simulate(&forest, &times, media_len).expect("plan must execute");
     assert_eq!(report.total_units, full_cost(&forest, &times, media_len));
-    println!("\nsimulated: {} units, peak {} concurrent streams, all on time\n",
-        report.total_units, report.bandwidth.peak());
+    println!(
+        "\nsimulated: {} units, peak {} concurrent streams, all on time\n",
+        report.total_units,
+        report.bandwidth.peak()
+    );
 
     // Set-top boxes can only buffer 3 parts: re-plan (consecutive slots
     // variant, §3.3) for a delay-guaranteed horizon of 24 slots.

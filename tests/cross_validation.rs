@@ -36,7 +36,9 @@ fn four_ways_to_compute_full_cost() {
         let plan = optimal_forest(media_len, n);
         let times = consecutive_slots(n);
         let via_model = full_cost(&plan.forest, &times, media_len) as u64;
-        let via_sim = simulate(&plan.forest, &times, media_len).unwrap().total_units as u64;
+        let via_sim = simulate(&plan.forest, &times, media_len)
+            .unwrap()
+            .total_units as u64;
         let (_, via_general) = general::optimal_forest(&times, media_len);
         assert_eq!(analytic, via_model, "L = {media_len}, n = {n}");
         assert_eq!(analytic, via_sim, "L = {media_len}, n = {n}");

@@ -63,10 +63,7 @@ fn hybrid_tracks_the_daily_cycle() {
     // the crossover and may run either mode.
     let peak = frac_dg(day + 50, day + day / 4);
     let trough = frac_dg(day + day * 7 / 10, day + day * 4 / 5);
-    assert!(
-        peak > 0.8,
-        "prime time should run DG: fraction {peak}"
-    );
+    assert!(peak > 0.8, "prime time should run DG: fraction {peak}");
     assert!(
         trough < 0.2,
         "the trough should run dyadic: fraction {trough}"
@@ -88,12 +85,8 @@ fn hybrid_beats_both_pure_policies_over_the_day() {
         }
         hybrid_costs += server.total_cost();
         dg_costs += online_full_cost(MEDIA, horizon as u64) as f64;
-        dyadic_costs += batched_dyadic_cost(
-            DyadicConfig::golden_poisson(),
-            &arrivals,
-            1.0,
-            MEDIA as f64,
-        );
+        dyadic_costs +=
+            batched_dyadic_cost(DyadicConfig::golden_poisson(), &arrivals, 1.0, MEDIA as f64);
     }
     assert!(
         hybrid_costs < dg_costs,

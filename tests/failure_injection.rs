@@ -124,22 +124,16 @@ fn broadcast_swapped_segments_are_caught() {
     // small late segment is fine, but the big first segment forces a huge
     // start-up period — callers relying on `delay_bound` would mis-provision,
     // and deadline feasibility breaks for the late small segment.
-    let swapped = SegmentPlan::new(vec![
-        Segment::back_to_back(8),
-        Segment::back_to_back(1),
-    ])
-    .unwrap();
+    let swapped =
+        SegmentPlan::new(vec![Segment::back_to_back(8), Segment::back_to_back(1)]).unwrap();
     // Segment 1 has period 1 so it is always catchable — but its deadline
     // is 8 units out while the *first* segment dictates an 8-unit delay
     // bound: the report must expose the bad delay.
     let report = verify_all_phases(&swapped, None, 10_000).unwrap();
     assert_eq!(report.worst_delay, 7);
     // The properly ordered plan has delay 0 at integer phases.
-    let proper = SegmentPlan::new(vec![
-        Segment::back_to_back(1),
-        Segment::back_to_back(8),
-    ])
-    .unwrap();
+    let proper =
+        SegmentPlan::new(vec![Segment::back_to_back(1), Segment::back_to_back(8)]).unwrap();
     // 8 > 1 + prefix(=1): the doubling limit is violated — infeasible.
     assert!(verify_all_phases(&proper, None, 10_000).is_err());
 }

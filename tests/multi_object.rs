@@ -5,9 +5,7 @@
 use stream_merging::online::capacity::{
     aggregate_peak, min_delay_for_budget, steady_state_bandwidth, MediaObject,
 };
-use stream_merging::server::{
-    aggregate_profile, plan_weighted, simulate_requests, Catalog, Title,
-};
+use stream_merging::server::{aggregate_profile, plan_weighted, simulate_requests, Catalog, Title};
 
 fn catalog() -> Catalog {
     Catalog::new(vec![

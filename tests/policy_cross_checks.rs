@@ -31,11 +31,7 @@ fn run_policy(
             (m.total_cost(), forest, times)
         }
         "ermt" => {
-            let mut m = HierarchicalMerger::new(
-                MergePolicy::EarliestReachable,
-                MEDIA as f64,
-                14.0,
-            );
+            let mut m = HierarchicalMerger::new(MergePolicy::EarliestReachable, MEDIA as f64, 14.0);
             for &t in arrivals {
                 m.on_arrival(t);
             }
@@ -114,11 +110,8 @@ fn ermt_never_worse_than_patching_at_equal_window() {
         let arrivals: Vec<f64> = (0..300).map(|i| i as f64 * gap).collect();
         for window in [5.0f64, 10.0, 14.0] {
             let mut p = PatchingMerger::new(MEDIA as f64, window);
-            let mut e = HierarchicalMerger::new(
-                MergePolicy::EarliestReachable,
-                MEDIA as f64,
-                window,
-            );
+            let mut e =
+                HierarchicalMerger::new(MergePolicy::EarliestReachable, MEDIA as f64, window);
             for &t in &arrivals {
                 p.on_arrival(t);
                 e.on_arrival(t);
@@ -158,8 +151,7 @@ fn simulator_oracle_executes_policy_schedules() {
     for policy in ["patching", "ermt"] {
         let (cost, forest, times) = run_policy(policy, &arrivals);
         let times_i: Vec<i64> = times.iter().map(|&t| t as i64).collect();
-        let report = simulate(&forest, &times_i, MEDIA)
-            .unwrap_or_else(|e| panic!("{policy}: {e}"));
+        let report = simulate(&forest, &times_i, MEDIA).unwrap_or_else(|e| panic!("{policy}: {e}"));
         assert_eq!(report.clients.len(), times.len());
         // Metered transmission equals the analytic cost.
         assert_eq!(report.total_units as f64, cost, "{policy}");

@@ -1,7 +1,9 @@
 //! Property-based tests over the core invariants, using proptest.
 
 use proptest::prelude::*;
-use stream_merging::core::{consecutive_slots, merge_cost, validate_tree, MergeTree, ValidationOptions};
+use stream_merging::core::{
+    consecutive_slots, merge_cost, validate_tree, MergeTree, ValidationOptions,
+};
 use stream_merging::offline::closed_form::ClosedForm;
 use stream_merging::offline::forest as off_forest;
 use stream_merging::offline::general;
@@ -14,9 +16,7 @@ use stream_merging::sim::simulate;
 /// Random merge tree over n arrivals: each node picks an earlier parent.
 fn arb_tree(max_n: usize) -> impl Strategy<Value = MergeTree> {
     (1..=max_n).prop_flat_map(|n| {
-        let parents: Vec<BoxedStrategy<usize>> = (1..n)
-            .map(|i| (0..i).boxed())
-            .collect();
+        let parents: Vec<BoxedStrategy<usize>> = (1..n).map(|i| (0..i).boxed()).collect();
         parents.prop_map(move |ps| {
             let mut v: Vec<Option<usize>> = vec![None];
             v.extend(ps.into_iter().map(Some));

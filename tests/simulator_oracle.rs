@@ -78,10 +78,7 @@ fn bounded_buffer_forests_respect_bound_in_simulation() {
             },
         )
         .unwrap_or_else(|e| panic!("L = {media_len}, n = {n}, B = {buffer}: {e}"));
-        assert!(report
-            .clients
-            .iter()
-            .all(|c| c.max_buffer <= buffer as i64));
+        assert!(report.clients.iter().all(|c| c.max_buffer <= buffer as i64));
     }
 }
 
@@ -94,8 +91,8 @@ fn general_dp_forests_execute_on_irregular_arrivals() {
     ];
     for times in cases {
         let (forest, cost) = general::optimal_forest(&times, 12);
-        let report = simulate(&forest, &times, 12)
-            .unwrap_or_else(|e| panic!("times {times:?}: {e}"));
+        let report =
+            simulate(&forest, &times, 12).unwrap_or_else(|e| panic!("times {times:?}: {e}"));
         assert_eq!(report.total_units, cost, "times {times:?}");
     }
 }

@@ -1,0 +1,182 @@
+//! Offline stand-in for the `rand` crate.
+//!
+//! The build environment has no access to crates.io, so this vendored crate
+//! implements exactly the subset of the `rand` 0.9 API surface the workspace
+//! uses: the [`Rng`] core trait, the [`RngExt`] extension providing
+//! [`RngExt::random`], [`SeedableRng::seed_from_u64`], and the small, fast,
+//! deterministic [`rngs::SmallRng`].
+//!
+//! The generator is not cryptographically secure — it is a SplitMix64 stream,
+//! which is more than adequate for the simulation workloads and statistical
+//! tests in this repository and has the virtue of being exactly reproducible
+//! from a `u64` seed on every platform.
+
+/// A source of random `u64`s. Object-safe so `dyn Rng` and `R: Rng + ?Sized`
+/// bounds both work.
+pub trait Rng {
+    /// Returns the next 64 uniformly distributed random bits.
+    fn next_u64(&mut self) -> u64;
+}
+
+impl<R: Rng + ?Sized> Rng for &mut R {
+    fn next_u64(&mut self) -> u64 {
+        (**self).next_u64()
+    }
+}
+
+/// A type that can be sampled uniformly from an [`Rng`]'s bit stream.
+pub trait Random {
+    /// Draws one uniformly distributed value.
+    fn random_from<R: Rng + ?Sized>(rng: &mut R) -> Self;
+}
+
+impl Random for f64 {
+    /// Uniform in `[0, 1)`, using the top 53 bits.
+    fn random_from<R: Rng + ?Sized>(rng: &mut R) -> Self {
+        (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+impl Random for f32 {
+    /// Uniform in `[0, 1)`, using the top 24 bits.
+    fn random_from<R: Rng + ?Sized>(rng: &mut R) -> Self {
+        (rng.next_u64() >> 40) as f32 * (1.0 / (1u32 << 24) as f32)
+    }
+}
+
+impl Random for u64 {
+    fn random_from<R: Rng + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u64()
+    }
+}
+
+impl Random for u32 {
+    fn random_from<R: Rng + ?Sized>(rng: &mut R) -> Self {
+        (rng.next_u64() >> 32) as u32
+    }
+}
+
+impl Random for usize {
+    fn random_from<R: Rng + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u64() as usize
+    }
+}
+
+impl Random for bool {
+    fn random_from<R: Rng + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+/// Convenience methods over any [`Rng`]; blanket-implemented.
+pub trait RngExt: Rng {
+    /// Draws one uniformly distributed value of type `T`.
+    fn random<T: Random>(&mut self) -> T {
+        T::random_from(self)
+    }
+
+    /// Uniform integer in `[0, bound)`. Panics if `bound == 0`.
+    fn random_below(&mut self, bound: u64) -> u64 {
+        assert!(bound > 0, "random_below: bound must be positive");
+        // Multiply-shift rejection-free mapping (Lemire); bias is < 2^-64
+        // per draw, irrelevant for simulation use.
+        ((u128::from(self.next_u64()) * u128::from(bound)) >> 64) as u64
+    }
+
+    /// Uniform `bool` that is `true` with probability `p`.
+    fn random_bool(&mut self, p: f64) -> bool {
+        self.random::<f64>() < p
+    }
+}
+
+impl<R: Rng + ?Sized> RngExt for R {}
+
+/// Generators that can be deterministically constructed from a seed.
+pub trait SeedableRng: Sized {
+    /// Builds the generator from a 64-bit seed; the stream is a pure function
+    /// of the seed on every platform.
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+pub mod rngs {
+    //! Concrete generators.
+
+    /// A small, fast, deterministic non-cryptographic generator
+    /// (SplitMix64: the seeding generator recommended by the xoshiro
+    /// authors, with 64 bits of state and full period 2^64).
+    #[derive(Debug, Clone, PartialEq, Eq)]
+    pub struct SmallRng {
+        state: u64,
+    }
+
+    impl crate::SeedableRng for SmallRng {
+        fn seed_from_u64(seed: u64) -> Self {
+            // Avoid the all-zero weak state by pre-mixing the seed.
+            SmallRng {
+                state: seed.wrapping_add(0x9E37_79B9_7F4A_7C15),
+            }
+        }
+    }
+
+    impl crate::Rng for SmallRng {
+        fn next_u64(&mut self) -> u64 {
+            self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = self.state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::SmallRng;
+    use super::{Rng, RngExt, SeedableRng};
+
+    #[test]
+    fn deterministic_per_seed() {
+        let mut a = SmallRng::seed_from_u64(7);
+        let mut b = SmallRng::seed_from_u64(7);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+        let mut c = SmallRng::seed_from_u64(8);
+        assert_ne!(a.next_u64(), c.next_u64());
+    }
+
+    #[test]
+    fn f64_in_unit_interval_and_roughly_uniform() {
+        let mut rng = SmallRng::seed_from_u64(1);
+        let n = 100_000;
+        let mut sum = 0.0;
+        for _ in 0..n {
+            let u: f64 = rng.random();
+            assert!((0.0..1.0).contains(&u));
+            sum += u;
+        }
+        let mean = sum / n as f64;
+        assert!((mean - 0.5).abs() < 0.01, "mean {mean}");
+    }
+
+    #[test]
+    fn random_below_stays_in_range() {
+        let mut rng = SmallRng::seed_from_u64(3);
+        for bound in [1u64, 2, 10, 1000] {
+            for _ in 0..1000 {
+                assert!(rng.random_below(bound) < bound);
+            }
+        }
+    }
+
+    #[test]
+    fn works_through_unsized_bound() {
+        fn draw<R: Rng + ?Sized>(rng: &mut R) -> f64 {
+            use crate::RngExt;
+            rng.random()
+        }
+        let mut rng = SmallRng::seed_from_u64(11);
+        let u = draw(&mut rng);
+        assert!((0.0..1.0).contains(&u));
+    }
+}
