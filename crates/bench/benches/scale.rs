@@ -1,0 +1,116 @@
+//! Scale: the event-driven engine at a million arrivals.
+//!
+//! Two million-client shapes, both streamed through
+//! [`sm_sim::simulate_streaming`] so per-client reports are consumed and
+//! dropped as their part-deadlines fire — peak memory is the schedule plus
+//! the active-stream heap, never a per-slot array over the horizon:
+//!
+//! * the Delay Guaranteed grid (one merged client per slot, the §4.1
+//!   steady-state server shape);
+//! * a flash-crowd workload (Poisson with a ×20 premiere spike), co-slot
+//!   arrivals batched into star trees — one full stream per occupied slot,
+//!   spike clients riding the batch.
+//!
+//! `SM_SCALE_ARRIVALS` overrides the arrival count (CI smoke-runs a small
+//! N; the default is 10⁶).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use sm_core::{consecutive_slots, MergeForest, MergeTree};
+use sm_online::DelayGuaranteedOnline;
+use sm_sim::{simulate_streaming, SimConfig};
+use sm_workload::{ArrivalProcess, FlashCrowd};
+use std::hint::black_box;
+
+fn scale_arrivals() -> usize {
+    std::env::var("SM_SCALE_ARRIVALS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(1_000_000)
+}
+
+/// Batches co-slot arrivals into star trees: every occupied slot opens one
+/// full stream, and the rest of its batch merges into it with zero-length
+/// streams — the classical batching service plan, always feasible.
+fn batched_star_forest(slots: &[i64]) -> (MergeForest, Vec<i64>) {
+    let mut trees = Vec::new();
+    let mut times = Vec::with_capacity(slots.len());
+    let mut i = 0usize;
+    while i < slots.len() {
+        let batch = slots[i..].iter().take_while(|&&s| s == slots[i]).count();
+        trees.push(if batch == 1 {
+            MergeTree::singleton()
+        } else {
+            MergeTree::star(batch)
+        });
+        times.extend(std::iter::repeat_n(slots[i], batch));
+        i += batch;
+    }
+    (
+        MergeForest::from_trees(trees).expect("at least one arrival"),
+        times,
+    )
+}
+
+fn bench_scale(c: &mut Criterion) {
+    let n = scale_arrivals();
+    let media_len = 100u64;
+    let mut g = c.benchmark_group("scale");
+    g.sample_size(10);
+
+    // Delay Guaranteed grid: n slots, one client each.
+    let alg = DelayGuaranteedOnline::new(media_len);
+    let forest = alg.forest_after(n);
+    let times = consecutive_slots(n);
+    g.bench_function(format!("events_dg_L{media_len}_n{n}"), |b| {
+        b.iter(|| {
+            let mut served = 0usize;
+            let summary = simulate_streaming(
+                black_box(&forest),
+                black_box(&times),
+                media_len,
+                SimConfig::events(),
+                |report| {
+                    served += 1;
+                    black_box(report.max_buffer);
+                },
+            )
+            .expect("DG plan must execute");
+            assert_eq!(served, n);
+            black_box(summary.total_units)
+        })
+    });
+    drop((forest, times));
+
+    // Flash crowd: Poisson background, ×20 spike, batched per slot.
+    let horizon = (n as f64 * 0.45).max(100.0);
+    let mut crowd = FlashCrowd::new(0.5, horizon * 0.4, horizon * 0.01, 20.0, 42);
+    let slots: Vec<i64> = crowd
+        .generate(horizon)
+        .into_iter()
+        .map(|t| t.floor() as i64)
+        .collect();
+    let (forest, times) = batched_star_forest(&slots);
+    let clients = times.len();
+    g.bench_function(format!("events_flash_crowd_L{media_len}_n{clients}"), |b| {
+        b.iter(|| {
+            let mut served = 0usize;
+            let summary = simulate_streaming(
+                black_box(&forest),
+                black_box(&times),
+                media_len,
+                SimConfig::events(),
+                |report| {
+                    served += 1;
+                    black_box(report.min_slack);
+                },
+            )
+            .expect("batched flash-crowd plan must execute");
+            assert_eq!(served, clients);
+            black_box(summary.bandwidth.peak())
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_scale);
+criterion_main!(benches);

@@ -1,10 +1,10 @@
 //! Simulator throughput: executing full schedules (schedule derivation,
-//! client replay, bandwidth metering).
+//! client replay, bandwidth metering), dense vs event-driven.
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use sm_core::consecutive_slots;
 use sm_offline::forest::optimal_forest;
-use sm_sim::{simulate, stream_schedule, BandwidthProfile};
+use sm_sim::{simulate_with, stream_schedule, BandwidthProfile, SimConfig};
 use std::hint::black_box;
 
 fn bench_simulate(c: &mut Criterion) {
@@ -13,15 +13,21 @@ fn bench_simulate(c: &mut Criterion) {
     for (media_len, n) in [(100u64, 1_000usize), (100, 5_000), (500, 2_000)] {
         let plan = optimal_forest(media_len, n);
         let times = consecutive_slots(n);
-        g.bench_function(format!("optimal_L{media_len}_n{n}"), |b| {
-            b.iter(|| {
-                black_box(simulate(
-                    black_box(&plan.forest),
-                    black_box(&times),
-                    media_len,
-                ))
-            })
-        });
+        for (engine, config) in [
+            ("dense", SimConfig::dense()),
+            ("events", SimConfig::events()),
+        ] {
+            g.bench_function(format!("{engine}_optimal_L{media_len}_n{n}"), |b| {
+                b.iter(|| {
+                    black_box(simulate_with(
+                        black_box(&plan.forest),
+                        black_box(&times),
+                        media_len,
+                        config,
+                    ))
+                })
+            });
+        }
     }
     g.finish();
 }
@@ -39,7 +45,7 @@ fn bench_schedule_and_metrics(c: &mut Criterion) {
             ))
         })
     });
-    let specs = stream_schedule(&plan.forest, &times, 100);
+    let specs = stream_schedule(&plan.forest, &times, 100).unwrap();
     g.bench_function("bandwidth_profile_n_10k", |b| {
         b.iter(|| black_box(BandwidthProfile::from_streams(black_box(&specs))))
     });

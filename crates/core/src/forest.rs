@@ -44,6 +44,26 @@ impl MergeForest {
         Self::from_trees(vec![tree]).expect("single tree is a valid forest")
     }
 
+    /// The forest over zero arrivals: no trees, no clients, no streams.
+    ///
+    /// [`from_trees`](Self::from_trees) deliberately rejects an empty tree
+    /// list (forgetting the trees is almost always a bug); the zero-arrival
+    /// service plan — e.g. simulating an idle horizon — must be requested
+    /// explicitly through this constructor.
+    pub fn empty() -> Self {
+        Self {
+            trees: Vec::new(),
+            starts: Vec::new(),
+            total: 0,
+        }
+    }
+
+    /// `true` iff the forest covers no arrivals.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.total == 0
+    }
+
     /// Number of trees (`s`, the number of full streams).
     #[inline]
     pub fn num_trees(&self) -> usize {
@@ -151,5 +171,17 @@ mod tests {
         let f = MergeForest::single(MergeTree::singleton());
         assert_eq!(f.num_trees(), 1);
         assert_eq!(f.total_arrivals(), 1);
+        assert!(!f.is_empty());
+    }
+
+    #[test]
+    fn explicit_empty_forest() {
+        let f = MergeForest::empty();
+        assert!(f.is_empty());
+        assert_eq!(f.num_trees(), 0);
+        assert_eq!(f.total_arrivals(), 0);
+        assert_eq!(f.sizes(), Vec::<usize>::new());
+        assert_eq!(f.root_arrivals(), Vec::<usize>::new());
+        assert_eq!(f.iter_with_ranges().count(), 0);
     }
 }

@@ -2,9 +2,20 @@
 //! the worked numeric examples.
 
 use sm_experiments::output::{render_table, results_dir, write_csv};
-use sm_experiments::tables;
+use sm_experiments::{simcheck, tables};
 
 fn main() {
+    // The worked Fcost examples of §2/§3.2, re-measured by the event
+    // engine rather than taken from the closed form.
+    assert_eq!(
+        simcheck::crosscheck_offline(15, 8).expect("Fig. 4 plan"),
+        36
+    );
+    assert_eq!(
+        simcheck::crosscheck_offline(15, 14).expect("n = 14 plan"),
+        64
+    );
+
     let mn = tables::mn_table(16);
     let mn_rows: Vec<Vec<String>> = mn
         .iter()

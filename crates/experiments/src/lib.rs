@@ -32,4 +32,5 @@ pub mod parallel;
 pub mod policies;
 pub mod ratios;
 pub mod server_exp;
+pub mod simcheck;
 pub mod tables;

@@ -1,0 +1,68 @@
+//! Event-engine cross-checks for the figure/table binaries.
+//!
+//! Every analytic number the experiments print has an executable
+//! counterpart: derive the forest the number describes, run it through the
+//! event-driven simulator ([`sm_sim::Engine::Events`]), and demand the
+//! measured bandwidth equals the closed form. The binaries call these
+//! before writing their CSVs, so a regression in either the theory code or
+//! the engine turns figure regeneration red.
+
+use sm_core::consecutive_slots;
+use sm_offline::forest::optimal_forest;
+use sm_online::DelayGuaranteedOnline;
+use sm_sim::{simulate_with, SimConfig};
+
+/// Executes the optimal off-line forest for `(L, n)` on the event engine
+/// and checks the measured total against the plan's analytic cost.
+/// Returns the measured slot-units.
+pub fn crosscheck_offline(media_len: u64, n: usize) -> Result<i64, String> {
+    let plan = optimal_forest(media_len, n);
+    let times = consecutive_slots(n);
+    let report = simulate_with(&plan.forest, &times, media_len, SimConfig::events())
+        .map_err(|e| format!("offline L = {media_len}, n = {n}: {e}"))?;
+    if report.total_units != plan.cost as i64 {
+        return Err(format!(
+            "offline L = {media_len}, n = {n}: simulated {} units, analytic {}",
+            report.total_units, plan.cost
+        ));
+    }
+    Ok(report.total_units)
+}
+
+/// Executes the Delay Guaranteed on-line forest after `n` slots on the
+/// event engine and checks the measured total against `A(L, n)`.
+/// Returns the measured slot-units.
+pub fn crosscheck_online(media_len: u64, n: usize) -> Result<i64, String> {
+    let alg = DelayGuaranteedOnline::new(media_len);
+    let forest = alg.forest_after(n);
+    let times = consecutive_slots(n);
+    let report = simulate_with(&forest, &times, media_len, SimConfig::events())
+        .map_err(|e| format!("online L = {media_len}, n = {n}: {e}"))?;
+    let analytic = alg.total_cost_after(n as u64);
+    if report.total_units as u64 != analytic {
+        return Err(format!(
+            "online L = {media_len}, n = {n}: simulated {} units, analytic {analytic}",
+            report.total_units
+        ));
+    }
+    Ok(report.total_units)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn offline_crosschecks_paper_examples() {
+        // The §2/§3.2 worked examples: Fcost(15, 8) = 36, Fcost(15, 14) = 64.
+        assert_eq!(crosscheck_offline(15, 8).unwrap(), 36);
+        assert_eq!(crosscheck_offline(15, 14).unwrap(), 64);
+    }
+
+    #[test]
+    fn online_crosschecks_across_sizes() {
+        for (l, n) in [(7u64, 40usize), (15, 100), (100, 250)] {
+            crosscheck_online(l, n).unwrap_or_else(|e| panic!("{e}"));
+        }
+    }
+}

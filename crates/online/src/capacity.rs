@@ -38,12 +38,12 @@ pub fn steady_state_bandwidth(media_len: u64) -> SteadyStateBandwidth {
     let n = ((2 * periods_needed + 2) * period) as usize;
     let forest = alg.forest_after(n);
     let times = consecutive_slots(n);
-    let specs = stream_schedule(&forest, &times, media_len);
+    let specs = stream_schedule(&forest, &times, media_len).expect("slot-scale media length");
     let profile = BandwidthProfile::from_streams(&specs);
     // Interior window: skip L slots at the front, L + period at the back.
-    let lo = media_len as usize;
-    let hi = profile.counts.len() - (media_len + period) as usize;
-    let window = &profile.counts[lo..hi];
+    let lo = profile.origin() + media_len as i64;
+    let hi = profile.end() - (media_len + period) as i64;
+    let window = profile.window(lo, hi);
     assert!(
         window.len() >= period as usize,
         "window must cover at least one period"

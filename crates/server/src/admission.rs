@@ -32,10 +32,10 @@ pub fn periodic_profile(media_len: u64) -> Vec<u32> {
     let n = ((2 * periods_needed + 2) * period) as usize;
     let forest = alg.forest_after(n);
     let times = consecutive_slots(n);
-    let specs = stream_schedule(&forest, &times, media_len);
+    let specs = stream_schedule(&forest, &times, media_len).expect("slot-scale media length");
     let profile = BandwidthProfile::from_streams(&specs);
-    let lo = media_len as usize;
-    profile.counts[lo..lo + period as usize].to_vec()
+    let lo = profile.origin() + media_len as i64;
+    profile.window(lo, lo + period as i64)
 }
 
 /// Minute-grained aggregate load of a planned catalog.

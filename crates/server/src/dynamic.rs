@@ -21,7 +21,7 @@ use crate::catalog::Catalog;
 use crate::planner::{plan_weighted, DelayPlan};
 use sm_core::consecutive_slots;
 use sm_online::delay_guaranteed::DelayGuaranteedOnline;
-use sm_sim::stream_schedule;
+use sm_sim::{stream_schedule, BandwidthProfile};
 
 /// A catalog snapshot taking effect at `start_minute`.
 #[derive(Debug, Clone)]
@@ -73,6 +73,7 @@ fn title_streams(duration_minutes: f64, delay_minutes: u64, t0: u64, t1: u64) ->
     let forest = alg.forest_after(slots);
     let times = consecutive_slots(slots);
     stream_schedule(&forest, &times, media_len)
+        .expect("minute-grid media length")
         .into_iter()
         .map(|s| {
             let start = t0 + s.start as u64 * d;
@@ -111,7 +112,11 @@ pub fn simulate_dynamic(
     );
     assert!(horizon_minutes > 0);
 
-    let mut per_minute = vec![0u64; horizon_minutes as usize];
+    // Sparse accounting: collect every stream as a minute interval and let
+    // the difference-array profile sum them at change-points only — the old
+    // per-stream `for slot in lo..hi { +1 }` inner loop was
+    // O(streams × duration) and dominated long horizons.
+    let mut intervals: Vec<(i64, i64)> = Vec::new();
     let mut epoch_plans = Vec::with_capacity(epochs.len());
     let mut longest_media = 0u64;
 
@@ -129,11 +134,7 @@ pub fn simulate_dynamic(
         for (title, &delay) in epoch.catalog.titles().iter().zip(&plan.delays_minutes) {
             longest_media = longest_media.max(title.duration_minutes.ceil() as u64);
             for (s, e) in title_streams(title.duration_minutes, delay as u64, t0, t1) {
-                let lo = s.min(horizon_minutes) as usize;
-                let hi = e.min(horizon_minutes) as usize;
-                for slot in &mut per_minute[lo..hi] {
-                    *slot += 1;
-                }
+                intervals.push((s.min(horizon_minutes) as i64, e.min(horizon_minutes) as i64));
             }
         }
         epoch_plans.push(EpochPlan {
@@ -142,6 +143,12 @@ pub fn simulate_dynamic(
             plan,
         });
     }
+    let profile = BandwidthProfile::from_intervals(intervals);
+    let per_minute: Vec<u64> = profile
+        .window(0, horizon_minutes as i64)
+        .into_iter()
+        .map(u64::from)
+        .collect();
 
     // Transition windows: one longest-media length after each switch (the
     // first epoch has no predecessor, hence no transition).

@@ -120,6 +120,46 @@ mod tests {
     }
 
     #[test]
+    fn binary_search_sampler_matches_linear_scan_exactly() {
+        // Pin: the O(log n) partition-point draw must agree *exactly* with
+        // the old O(n) linear scan over the identical normalized CDF, on
+        // the same seeded RNG stream.
+        fn reference_cdf(n: usize, s: f64) -> Vec<f64> {
+            // Byte-for-byte the construction in `Zipf::new`, so the float
+            // rounding is identical.
+            let mut cdf: Vec<f64> = Vec::with_capacity(n);
+            let mut acc = 0.0;
+            for i in 1..=n {
+                acc += (i as f64).powf(-s);
+                cdf.push(acc);
+            }
+            let total = acc;
+            for c in &mut cdf {
+                *c /= total;
+            }
+            *cdf.last_mut().unwrap() = 1.0;
+            cdf
+        }
+        for (n, s, seed) in [
+            (1usize, 0.9, 5u64),
+            (10, 1.0, 7),
+            (500, 0.7, 42),
+            (97, 0.0, 3),
+        ] {
+            let z = Zipf::new(n, s);
+            let cdf = reference_cdf(n, s);
+            let mut fast_rng = SmallRng::seed_from_u64(seed);
+            let mut slow_rng = SmallRng::seed_from_u64(seed);
+            for draw in 0..10_000 {
+                let fast = z.sample(&mut fast_rng);
+                let u: f64 = slow_rng.random();
+                let slow = cdf.iter().position(|&c| c >= u).unwrap_or(n - 1).min(n - 1);
+                assert_eq!(fast, slow, "n = {n}, s = {s}, draw {draw}");
+            }
+        }
+    }
+
+    #[test]
     fn sample_is_always_in_range() {
         let z = Zipf::new(3, 2.0);
         let mut rng = SmallRng::seed_from_u64(1);

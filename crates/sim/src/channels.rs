@@ -168,7 +168,7 @@ mod tests {
         for (media_len, n) in [(15u64, 8usize), (100, 300), (30, 77)] {
             let plan = sm_offline_forest(media_len, n);
             let times = consecutive_slots(n);
-            let specs = stream_schedule(&plan, &times, media_len);
+            let specs = stream_schedule(&plan, &times, media_len).unwrap();
             let channels = assign_channels(&specs);
             verify_plan(&specs, &channels).unwrap();
             let peak = BandwidthProfile::from_streams(&specs).peak();

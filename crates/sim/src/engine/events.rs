@@ -1,0 +1,308 @@
+//! The discrete-event engine.
+//!
+//! Where the [`dense`](super::dense) engine sweeps every slot of every
+//! client's playback window, this engine advances time only at *events*:
+//!
+//! * **stream starts** — arrivals are time-ordered, so pending starts are a
+//!   sorted cursor, not heap entries;
+//! * **stream ends** — pushed into a binary min-heap when their stream
+//!   starts, so the heap never holds more than the currently *active*
+//!   streams;
+//! * **per-client part-deadlines** — each client's program ends with part
+//!   `L` playing during `[t_c+L−1, t_c+L)`; the final deadline `t_c + L` is
+//!   the event at which the client's whole program is checked and its
+//!   report emitted.
+//!
+//! Bandwidth is metered sparsely: the active-stream count is recorded only
+//! when it changes, yielding the change-point [`BandwidthProfile`] directly
+//! — no per-slot allocation over the span ever happens.
+//!
+//! Per-client metrics are computed in closed form from the receiving
+//! program's segments instead of slot-by-slot replay. For a client at `t_c`
+//! receiving parts `[first, last]` from the stream of node `x_j` (started at
+//! `t_j`):
+//!
+//! * part `q` is broadcast in slot `t_j + q − 1` and plays in slot
+//!   `t_c + q − 1`, so the *slack* `t_c − t_j` and the *stall* condition
+//!   `t_j > t_c` are constant across the segment;
+//! * reception occupies the slot interval `[t_j+first−1, t_j+last−1]`, so
+//!   receive-two compliance is interval-overlap ≤ 2;
+//! * buffer occupancy `received(τ) − played(τ)` is piecewise linear in `τ`
+//!   with breakpoints only at segment interval endpoints (and `t_c`,
+//!   `t_c + L`), so its maximum is attained at one of `O(segments)`
+//!   candidate slots.
+//!
+//! All of this reproduces the dense engine's measurements *bit for bit*
+//! (including which error fires first); the `engine_equivalence` proptest
+//! suite pins that.
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+use super::{ClientReport, SimConfig, SimReport};
+use crate::error::SimError;
+use crate::metrics::{BandwidthProfile, ProfileBuilder};
+use crate::schedule::{stream_schedule, StreamSpec};
+use sm_core::{MergeForest, ReceivingProgram};
+
+/// Whole-run aggregates of a streaming simulation (everything a
+/// [`SimReport`] holds except the per-client vector).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StreamingSummary {
+    /// Server bandwidth at its change-points.
+    pub bandwidth: BandwidthProfile,
+    /// Total transmitted slot-units (`= Fcost`).
+    pub total_units: i64,
+    /// Number of clients served (and emitted).
+    pub clients: usize,
+}
+
+/// Runs the event engine and collects a full [`SimReport`].
+pub(super) fn run(
+    forest: &MergeForest,
+    times: &[i64],
+    media_len: u64,
+    config: SimConfig,
+) -> Result<SimReport, SimError> {
+    let mut clients = Vec::with_capacity(times.len());
+    match simulate_streaming(forest, times, media_len, config, |r| clients.push(r)) {
+        Ok(summary) => {
+            // Deadline order equals arrival-index order for sorted times;
+            // sort to guarantee index order for the report regardless.
+            clients.sort_unstable_by_key(|r| r.client);
+            Ok(SimReport {
+                bandwidth: summary.bandwidth,
+                total_units: summary.total_units,
+                clients,
+            })
+        }
+        Err(streaming_err) => {
+            // The stream fails at the earliest part-deadline violation; the
+            // dense engine reports the lowest-*index* violation. Those only
+            // differ when arrival times are not globally nondecreasing —
+            // replay client checks in index order so the reported error is
+            // identical either way. Error path only: no cost on success.
+            let specs = stream_schedule(forest, times, media_len)?;
+            for c in 0..times.len() {
+                eval_client(forest, times, &specs, media_len, c, config)?;
+            }
+            Err(streaming_err)
+        }
+    }
+}
+
+/// Event-driven simulation with streaming per-client reports.
+///
+/// `emit` is called once per client, in part-deadline order (`t_c + L`,
+/// ties by arrival index), as soon as the client's program completes —
+/// nothing per-client is retained afterwards, so peak memory is the
+/// schedule plus the active-stream heap rather than `O(clients)` reports.
+/// `config.buffer_bound` is honored; `config.engine` is ignored (this *is*
+/// the event engine).
+///
+/// Returns the whole-run aggregates; fails at the first violating
+/// *part-deadline*. That is the same first error [`super::simulate_with`]
+/// reports whenever arrival times are nondecreasing (the model's canonical
+/// form); on exotic unsorted inputs `simulate_with` additionally replays
+/// the checks in arrival order to keep its error identical to the dense
+/// engine's.
+pub fn simulate_streaming<F: FnMut(ClientReport)>(
+    forest: &MergeForest,
+    times: &[i64],
+    media_len: u64,
+    config: SimConfig,
+    mut emit: F,
+) -> Result<StreamingSummary, SimError> {
+    if times.len() != forest.total_arrivals() {
+        return Err(SimError::Model(sm_core::ModelError::TimesLengthMismatch {
+            nodes: forest.total_arrivals(),
+            times: times.len(),
+        }));
+    }
+    let specs = stream_schedule(forest, times, media_len)?;
+    let media = media_len as i64; // validated by stream_schedule
+    let total_units: i64 = specs.iter().map(|s| s.length).sum();
+
+    // Sorted event sources. Arrival times are nondecreasing in every real
+    // workload (trees tile arrivals left to right), making these sorts
+    // near-free; they also make the engine robust to exotic inputs.
+    let mut starts: Vec<usize> = (0..specs.len()).filter(|&i| specs[i].length > 0).collect();
+    starts.sort_by_key(|&i| specs[i].start);
+    let mut deadlines: Vec<usize> = (0..times.len()).collect();
+    deadlines.sort_by_key(|&c| times[c]);
+
+    let mut ends: BinaryHeap<Reverse<i64>> = BinaryHeap::new();
+    let mut active: u32 = 0;
+    let mut profile = ProfileBuilder::new();
+    let mut si = 0usize; // cursor into `starts`
+    let mut ci = 0usize; // cursor into `deadlines`
+
+    loop {
+        // Next event instant over the three sources.
+        let mut next: Option<i64> = ends.peek().map(|&Reverse(t)| t);
+        if let Some(&i) = starts.get(si) {
+            next = Some(next.map_or(specs[i].start, |t| t.min(specs[i].start)));
+        }
+        if let Some(&c) = deadlines.get(ci) {
+            let d = times[c] + media;
+            next = Some(next.map_or(d, |t| t.min(d)));
+        }
+        let Some(now) = next else { break };
+
+        // Stream ends, then starts: the net count change at `now` is what
+        // the sparse profile records (a back-to-back handoff is no change).
+        let mut bandwidth_event = false;
+        while ends.peek().is_some_and(|&Reverse(t)| t == now) {
+            ends.pop();
+            active -= 1;
+            bandwidth_event = true;
+        }
+        while starts.get(si).is_some_and(|&i| specs[i].start == now) {
+            ends.push(Reverse(specs[starts[si]].end()));
+            active += 1;
+            si += 1;
+            bandwidth_event = true;
+        }
+        if bandwidth_event {
+            profile.record(now, active);
+        }
+
+        // Client part-deadlines: the client's last part has played, so its
+        // whole program is checkable; verify and emit.
+        while deadlines.get(ci).is_some_and(|&c| times[c] + media == now) {
+            let c = deadlines[ci];
+            ci += 1;
+            emit(eval_client(forest, times, &specs, media_len, c, config)?);
+        }
+    }
+
+    Ok(StreamingSummary {
+        bandwidth: profile.finish(),
+        total_units,
+        clients: times.len(),
+    })
+}
+
+/// Checks one client's program against the schedule and measures it, in
+/// `O(segments²)` arithmetic — no per-slot state.
+fn eval_client(
+    forest: &MergeForest,
+    times: &[i64],
+    specs: &[StreamSpec],
+    media_len: u64,
+    global: usize,
+    config: SimConfig,
+) -> Result<ClientReport, SimError> {
+    let media = media_len as i64;
+    let (ti, local) = forest.locate(global);
+    let tree = &forest.trees()[ti];
+    let base = forest.tree_start(ti);
+    let local_times = &times[base..base + tree.len()];
+    let local_specs = &specs[base..base + tree.len()];
+    let t_c = local_times[local];
+
+    let prog = ReceivingProgram::build(tree, local_times, media_len, local);
+    prog.verify(local_times, media_len)
+        .map_err(SimError::Model)?;
+
+    // Per-segment closed forms. `intervals` collects the inclusive
+    // receive-slot interval of each non-empty segment.
+    let mut min_slack = i64::MAX;
+    let mut intervals: Vec<(i64, i64)> = Vec::with_capacity(prog.segments.len());
+    for seg in &prog.segments {
+        if seg.is_empty() {
+            continue;
+        }
+        let spec = &local_specs[seg.stream];
+        // Mirrors the dense per-part loop's error precedence: for each part
+        // in order, "stream too short" is checked before "stall", so the
+        // first failing part decides the variant.
+        if seg.first_part > spec.length {
+            return Err(SimError::StreamTooShort {
+                client: global,
+                stream: base + seg.stream,
+                part: seg.first_part,
+                length: spec.length,
+            });
+        }
+        if spec.start > t_c {
+            return Err(SimError::Stall {
+                client: global,
+                part: seg.first_part,
+                received: spec.start + seg.first_part - 1,
+                deadline: t_c + seg.first_part - 1,
+            });
+        }
+        if seg.last_part > spec.length {
+            return Err(SimError::StreamTooShort {
+                client: global,
+                stream: base + seg.stream,
+                part: spec.length + 1,
+                length: spec.length,
+            });
+        }
+        // Part q arrives at the end of slot t_j + q − 1 and plays in slot
+        // t_c + q − 1: slack is t_c − t_j for every part of the segment.
+        min_slack = min_slack.min(t_c - spec.start);
+        intervals.push((
+            spec.start + seg.first_part - 1,
+            spec.start + seg.last_part - 1,
+        ));
+    }
+
+    // Receive-two: segment intervals may overlap at most pairwise. The
+    // client's reception is itself a tiny bandwidth profile (one unit per
+    // segment); coverage only changes at change-points, so the first
+    // change-point above 2 is exactly the slot the dense scan reports.
+    let reception =
+        BandwidthProfile::from_intervals(intervals.iter().map(|&(lo, hi)| (lo, hi + 1)));
+    let mut max_concurrent = 0usize;
+    for &(slot, count) in reception.change_points() {
+        if count > 2 {
+            return Err(SimError::ReceiveTwoViolation {
+                client: global,
+                slot,
+                count: count as usize,
+            });
+        }
+        max_concurrent = max_concurrent.max(count as usize);
+    }
+
+    // Buffer occupancy: received(τ) − played(τ) is piecewise linear with
+    // breakpoints only at interval endpoints (and the playback window
+    // bounds), so its maximum over [t_c, t_c + L] is attained at one of
+    // these candidates.
+    // A part received in slot τ′ is *in hand* from τ′ + 1 on, so a segment
+    // over receive slots [lo, hi] has contributed clamp(τ − lo, 0, hi−lo+1)
+    // parts by instant τ — kinks at τ = lo and τ = hi + 1.
+    let occupancy = |tau: i64| -> i64 {
+        let received: i64 = intervals
+            .iter()
+            .map(|&(lo, hi)| (tau - lo).clamp(0, hi - lo + 1))
+            .sum();
+        received - (tau - t_c).clamp(0, media)
+    };
+    let mut max_buffer = 0i64;
+    let clamp_window = |tau: i64| tau.clamp(t_c, t_c + media);
+    for &(lo, hi) in &intervals {
+        max_buffer = max_buffer.max(occupancy(clamp_window(lo)));
+        max_buffer = max_buffer.max(occupancy(clamp_window(hi + 1)));
+    }
+    max_buffer = max_buffer.max(occupancy(t_c)).max(occupancy(t_c + media));
+
+    if let Some(bound) = config.buffer_bound {
+        if max_buffer > bound as i64 {
+            return Err(SimError::BufferOverflow {
+                client: global,
+                needed: max_buffer,
+                bound,
+            });
+        }
+    }
+    Ok(ClientReport {
+        client: global,
+        max_buffer,
+        max_concurrent,
+        min_slack,
+    })
+}

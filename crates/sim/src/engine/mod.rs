@@ -1,0 +1,359 @@
+//! The execution engines.
+//!
+//! Two interchangeable engines replay every client's receiving program
+//! against the concrete broadcast schedule and fail with the *first*
+//! violation — stall, receive-two breach, buffer overflow, or a
+//! program/schedule mismatch:
+//!
+//! * [`dense`] — the original slot-stepped oracle: every client is swept
+//!   over every slot of its playback window (`O(clients · L²)` time,
+//!   `O(L)` scratch per client). Simple, and kept as the reference.
+//! * [`events`] — the discrete-event engine: a binary-heap event queue over
+//!   stream starts/ends and per-client part-deadlines, sparse bandwidth
+//!   change-points, and per-client metrics derived in closed form from the
+//!   program's segments. `O((clients + streams) log)` time, memory
+//!   proportional to the *active* streams — the production path.
+//!
+//! Both produce bit-identical [`SimReport`]s (pinned by the
+//! `engine_equivalence` proptest suite); [`SimConfig::engine`] selects one.
+
+pub mod dense;
+pub mod events;
+
+use crate::error::SimError;
+use crate::metrics::BandwidthProfile;
+use crate::schedule::checked_media_len;
+use sm_core::MergeForest;
+
+pub use events::{simulate_streaming, StreamingSummary};
+
+/// Which execution engine to run.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub enum Engine {
+    /// Slot-stepped reference engine (`O(span · clients)` time).
+    Dense,
+    /// Event-driven engine (default): heap-scheduled, sparse accounting.
+    #[default]
+    Events,
+}
+
+/// Execution options.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct SimConfig {
+    /// Fail if a client would need more than this many buffered parts.
+    pub buffer_bound: Option<u64>,
+    /// Engine selection; defaults to [`Engine::Events`].
+    pub engine: Engine,
+}
+
+impl SimConfig {
+    /// Default configuration on the slot-stepped reference engine.
+    pub fn dense() -> Self {
+        Self {
+            engine: Engine::Dense,
+            ..Self::default()
+        }
+    }
+
+    /// Default configuration on the event-driven engine.
+    pub fn events() -> Self {
+        Self {
+            engine: Engine::Events,
+            ..Self::default()
+        }
+    }
+}
+
+/// Per-client measurements.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ClientReport {
+    /// Global arrival index.
+    pub client: usize,
+    /// Peak number of parts held in the buffer.
+    pub max_buffer: i64,
+    /// Peak number of simultaneously received streams.
+    pub max_concurrent: usize,
+    /// Slack (in slots) between each part's arrival and its playback,
+    /// minimised over parts: 0 means some part arrives just in time.
+    pub min_slack: i64,
+}
+
+/// Whole-run measurements.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SimReport {
+    /// Server bandwidth at its change-points (sparse).
+    pub bandwidth: BandwidthProfile,
+    /// Total transmitted slot-units (must equal the analytic `Fcost`).
+    pub total_units: i64,
+    /// Per-client reports, by global arrival index.
+    pub clients: Vec<ClientReport>,
+}
+
+/// Simulates with default configuration (event-driven engine).
+pub fn simulate(
+    forest: &MergeForest,
+    times: &[i64],
+    media_len: u64,
+) -> Result<SimReport, SimError> {
+    simulate_with(forest, times, media_len, SimConfig::default())
+}
+
+/// Simulates a merge forest over slotted arrivals.
+///
+/// Every client of every tree is executed: its receiving program is built
+/// from the tree structure, then *checked against the broadcast schedule*
+/// (the schedule knows only stream lengths; the program knows only the
+/// tree path — agreement is the Lemma 1 ↔ §2 consistency the paper relies
+/// on).
+///
+/// An empty forest over zero arrivals yields an empty report.
+pub fn simulate_with(
+    forest: &MergeForest,
+    times: &[i64],
+    media_len: u64,
+    config: SimConfig,
+) -> Result<SimReport, SimError> {
+    if times.len() != forest.total_arrivals() {
+        return Err(SimError::Model(sm_core::ModelError::TimesLengthMismatch {
+            nodes: forest.total_arrivals(),
+            times: times.len(),
+        }));
+    }
+    checked_media_len(media_len)?;
+    match config.engine {
+        Engine::Dense => dense::run(forest, times, media_len, config),
+        Engine::Events => events::run(forest, times, media_len, config),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sm_core::{consecutive_slots, full_cost, required_buffer, MergeTree};
+
+    const ENGINES: [Engine; 2] = [Engine::Dense, Engine::Events];
+
+    fn cfg(engine: Engine) -> SimConfig {
+        SimConfig {
+            engine,
+            ..SimConfig::default()
+        }
+    }
+
+    fn fig4_forest() -> MergeForest {
+        MergeForest::single(
+            MergeTree::from_parents(&[
+                None,
+                Some(0),
+                Some(0),
+                Some(0),
+                Some(3),
+                Some(0),
+                Some(5),
+                Some(5),
+            ])
+            .unwrap(),
+        )
+    }
+
+    #[test]
+    fn fig3_executes_cleanly() {
+        let forest = fig4_forest();
+        let times = consecutive_slots(8);
+        for engine in ENGINES {
+            let report = simulate_with(&forest, &times, 15, cfg(engine)).unwrap();
+            assert_eq!(report.total_units, 36);
+            assert_eq!(report.total_units, full_cost(&forest, &times, 15));
+            assert_eq!(report.clients.len(), 8);
+        }
+    }
+
+    #[test]
+    fn measured_buffers_match_lemma15() {
+        let forest = fig4_forest();
+        let times = consecutive_slots(8);
+        for engine in ENGINES {
+            let report = simulate_with(&forest, &times, 15, cfg(engine)).unwrap();
+            let tree = &forest.trees()[0];
+            for cr in &report.clients {
+                assert_eq!(
+                    cr.max_buffer,
+                    required_buffer(tree, &times, 15, cr.client),
+                    "client {} ({engine:?})",
+                    cr.client
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn no_client_exceeds_two_streams() {
+        let forest = fig4_forest();
+        let times = consecutive_slots(8);
+        for engine in ENGINES {
+            let report = simulate_with(&forest, &times, 15, cfg(engine)).unwrap();
+            for cr in &report.clients {
+                assert!(cr.max_concurrent <= 2);
+            }
+        }
+    }
+
+    #[test]
+    fn stall_detected_when_media_too_short() {
+        // The Fig. 4 shape with L = 8: client 7's program needs parts past
+        // what the root can deliver in time.
+        let forest = fig4_forest();
+        let times = consecutive_slots(8);
+        for engine in ENGINES {
+            let err = simulate_with(&forest, &times, 8, cfg(engine)).unwrap_err();
+            // Either a coverage failure or a stall, depending on which
+            // client trips first — both are model-consistency failures.
+            match err {
+                SimError::Model(_) | SimError::Stall { .. } | SimError::StreamTooShort { .. } => {}
+                other => panic!("unexpected error {other:?} ({engine:?})"),
+            }
+        }
+    }
+
+    #[test]
+    fn buffer_bound_enforced() {
+        let forest = fig4_forest();
+        let times = consecutive_slots(8);
+        for engine in ENGINES {
+            let err = simulate_with(
+                &forest,
+                &times,
+                15,
+                SimConfig {
+                    buffer_bound: Some(3),
+                    engine,
+                },
+            )
+            .unwrap_err();
+            assert!(matches!(err, SimError::BufferOverflow { .. }), "{engine:?}");
+        }
+    }
+
+    #[test]
+    fn slack_is_zero_for_just_in_time_parts() {
+        // Clients receive their first parts exactly as they play them.
+        let forest = fig4_forest();
+        let times = consecutive_slots(8);
+        for engine in ENGINES {
+            let report = simulate_with(&forest, &times, 15, cfg(engine)).unwrap();
+            for cr in &report.clients {
+                assert_eq!(cr.min_slack, 0, "client {} ({engine:?})", cr.client);
+            }
+        }
+    }
+
+    #[test]
+    fn bandwidth_profile_peaks_match_fig3() {
+        let forest = fig4_forest();
+        let times = consecutive_slots(8);
+        for engine in ENGINES {
+            let report = simulate_with(&forest, &times, 15, cfg(engine)).unwrap();
+            // At slot 7 streams A, D(3..8), F(5..14), H(7..9) are live -> 4
+            // concurrent; G lives only in slot 6..7.
+            assert!(report.bandwidth.peak() >= 4);
+            assert_eq!(report.bandwidth.total_units(), 36);
+        }
+    }
+
+    #[test]
+    fn multi_tree_forest_simulates() {
+        let t = MergeTree::from_parents(&[None, Some(0), Some(0)]).unwrap();
+        let forest = MergeForest::from_trees(vec![t.clone(), t]).unwrap();
+        let times = consecutive_slots(6);
+        for engine in ENGINES {
+            let report = simulate_with(&forest, &times, 10, cfg(engine)).unwrap();
+            assert_eq!(report.total_units, 2 * 10 + 3 + 3);
+        }
+    }
+
+    #[test]
+    fn empty_forest_yields_empty_report() {
+        // Regression: zero arrivals used to be unconstructible/panicky; it
+        // must now produce an empty report on both engines.
+        let forest = MergeForest::empty();
+        for engine in ENGINES {
+            let report = simulate_with(&forest, &[], 15, cfg(engine)).unwrap();
+            assert_eq!(report.total_units, 0);
+            assert!(report.clients.is_empty());
+            assert!(report.bandwidth.is_empty());
+            assert_eq!(report.bandwidth.peak(), 0);
+        }
+    }
+
+    #[test]
+    fn single_arrival_forest_simulates() {
+        let forest = MergeForest::single(MergeTree::singleton());
+        let times = [5i64];
+        for engine in ENGINES {
+            let report = simulate_with(&forest, &times, 12, cfg(engine)).unwrap();
+            assert_eq!(report.total_units, 12);
+            assert_eq!(report.clients.len(), 1);
+            let cr = &report.clients[0];
+            assert_eq!(cr.max_buffer, 0);
+            assert_eq!(cr.max_concurrent, 1);
+            assert_eq!(cr.min_slack, 0);
+            assert_eq!(report.bandwidth.peak(), 1);
+        }
+    }
+
+    #[test]
+    fn zero_media_len_simulates_to_nothing() {
+        // Regression: L = 0 exercised the per-slot vectors' edge cases. A
+        // forest of singleton trees is the only feasible shape (no parts to
+        // deliver, so every receiving program is empty).
+        let trees = vec![MergeTree::singleton(); 3];
+        let forest = MergeForest::from_trees(trees).unwrap();
+        let times = [0i64, 4, 9];
+        for engine in ENGINES {
+            let report = simulate_with(&forest, &times, 0, cfg(engine)).unwrap();
+            assert_eq!(report.total_units, 0);
+            assert_eq!(report.clients.len(), 3);
+            for cr in &report.clients {
+                assert_eq!(cr.max_buffer, 0);
+                assert_eq!(cr.max_concurrent, 0);
+                assert_eq!(cr.min_slack, i64::MAX, "no parts -> vacuous slack");
+            }
+        }
+    }
+
+    #[test]
+    fn unsorted_sibling_times_agree_with_dense_on_reports_and_first_error() {
+        // Sibling order need not follow time order (`from_parents` only
+        // constrains indices): with times [0, 5, 2] client 2's part-deadline
+        // fires before client 1's, so the event engine naturally *detects*
+        // client 2's violation first — but it must still report client 1's,
+        // like the dense index-order scan does.
+        let tree = MergeTree::from_parents(&[None, Some(0), Some(0)]).unwrap();
+        let forest = MergeForest::single(tree);
+        let times = [0i64, 5, 2];
+        let ok_dense = simulate_with(&forest, &times, 40, cfg(Engine::Dense));
+        let ok_events = simulate_with(&forest, &times, 40, cfg(Engine::Events));
+        assert!(ok_dense.is_ok());
+        assert_eq!(ok_dense, ok_events);
+        let err_cfg = |engine| SimConfig {
+            buffer_bound: Some(0),
+            engine,
+        };
+        let err_dense = simulate_with(&forest, &times, 40, err_cfg(Engine::Dense)).unwrap_err();
+        let err_events = simulate_with(&forest, &times, 40, err_cfg(Engine::Events)).unwrap_err();
+        assert_eq!(err_dense, err_events);
+        assert!(matches!(
+            err_dense,
+            SimError::BufferOverflow { client: 1, .. }
+        ));
+    }
+
+    #[test]
+    fn media_len_overflow_is_rejected_up_front() {
+        let forest = MergeForest::single(MergeTree::singleton());
+        for engine in ENGINES {
+            let err = simulate_with(&forest, &[0], u64::MAX, cfg(engine)).unwrap_err();
+            assert!(matches!(err, SimError::MediaLenOverflow { .. }));
+        }
+    }
+}

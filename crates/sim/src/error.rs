@@ -37,6 +37,12 @@ pub enum SimError {
         needed: i64,
         bound: u64,
     },
+    /// `media_len` does not fit the signed slot arithmetic (`i64`); the
+    /// schedule cannot be represented without wrapping.
+    MediaLenOverflow {
+        /// The offending media length.
+        media_len: u64,
+    },
 }
 
 impl fmt::Display for SimError {
@@ -76,6 +82,10 @@ impl fmt::Display for SimError {
             } => write!(
                 f,
                 "client {client} needs {needed} buffered parts, bound is {bound}"
+            ),
+            Self::MediaLenOverflow { media_len } => write!(
+                f,
+                "media length {media_len} exceeds the representable slot range (i64)"
             ),
         }
     }

@@ -29,7 +29,10 @@ pub mod schedule;
 
 pub use channels::{assign_channels, ChannelPlan};
 pub use continuous::{verify_continuous, ContinuousError};
-pub use engine::{simulate, simulate_with, ClientReport, SimConfig, SimReport};
+pub use engine::{
+    simulate, simulate_streaming, simulate_with, ClientReport, Engine, SimConfig, SimReport,
+    StreamingSummary,
+};
 pub use error::SimError;
 pub use metrics::BandwidthProfile;
 pub use schedule::{stream_schedule, StreamSpec};

@@ -1,71 +1,176 @@
-//! Server bandwidth metering.
+//! Server bandwidth metering with sparse (difference-array) accounting.
+//!
+//! A schedule over a long horizon is mostly *quiet*: the number of
+//! concurrently transmitting streams changes only when a stream starts or
+//! ends, so a profile over `span` slots carrying `m` streams has at most
+//! `2m` distinct values. [`BandwidthProfile`] therefore stores only the
+//! change-points `(slot, count)` instead of one counter per slot — memory is
+//! `O(streams)`, independent of the schedule span, which is what lets the
+//! event-driven engine meter million-arrival horizons without materializing
+//! them.
 
 use crate::schedule::StreamSpec;
 
-/// Per-slot count of concurrently transmitting streams.
-#[derive(Debug, Clone, PartialEq, Eq)]
+/// Piecewise-constant count of concurrently transmitting streams.
+///
+/// Stored sparsely as change-points: `changes[i] = (slot, count)` means
+/// `count` streams are live from `slot` (inclusive) until the next
+/// change-point. Slots are strictly increasing, consecutive counts always
+/// differ, and the final entry has count 0 (every stream ends), so the
+/// covered extent is `[origin(), end())`.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
 pub struct BandwidthProfile {
-    /// First slot covered.
-    pub origin: i64,
-    /// `counts[i]` = streams live during slot `origin + i`.
-    pub counts: Vec<u32>,
+    changes: Vec<(i64, u32)>,
 }
 
 impl BandwidthProfile {
-    /// Sweeps the schedule into a per-slot profile.
+    /// Sweeps the schedule into a sparse profile. Zero-length streams carry
+    /// no bandwidth and are ignored entirely (they do not extend the span).
     pub fn from_streams(specs: &[StreamSpec]) -> Self {
-        if specs.is_empty() {
-            return Self {
-                origin: 0,
-                counts: Vec::new(),
-            };
-        }
-        let origin = specs.iter().map(|s| s.start).min().unwrap();
-        let end = specs.iter().map(StreamSpec::end).max().unwrap();
-        let mut delta = vec![0i32; (end - origin + 1) as usize];
-        for s in specs {
-            if s.length <= 0 {
-                continue;
+        Self::from_intervals(
+            specs
+                .iter()
+                .filter(|s| s.length > 0)
+                .map(|s| (s.start, s.end())),
+        )
+    }
+
+    /// Builds the profile of arbitrary half-open `[start, end)` intervals
+    /// (one unit of bandwidth each). Empty intervals (`end <= start`) are
+    /// ignored.
+    pub fn from_intervals(intervals: impl IntoIterator<Item = (i64, i64)>) -> Self {
+        let mut deltas: Vec<(i64, i32)> = Vec::new();
+        for (start, end) in intervals {
+            if end > start {
+                deltas.push((start, 1));
+                deltas.push((end, -1));
             }
-            delta[(s.start - origin) as usize] += 1;
-            delta[(s.end() - origin) as usize] -= 1;
         }
-        let mut counts = Vec::with_capacity(delta.len().saturating_sub(1));
-        let mut cur = 0i32;
-        for d in &delta[..delta.len() - 1] {
-            cur += d;
-            counts.push(cur as u32);
+        deltas.sort_unstable();
+        let mut changes: Vec<(i64, u32)> = Vec::new();
+        let mut cur = 0i64;
+        let mut i = 0usize;
+        while i < deltas.len() {
+            let slot = deltas[i].0;
+            let before = cur;
+            while i < deltas.len() && deltas[i].0 == slot {
+                cur += deltas[i].1 as i64;
+                i += 1;
+            }
+            if cur != before {
+                changes.push((slot, cur as u32));
+            }
         }
-        Self { origin, counts }
+        Self { changes }
+    }
+
+    /// `true` iff no stream ever transmits.
+    pub fn is_empty(&self) -> bool {
+        self.changes.is_empty()
+    }
+
+    /// First covered slot (0 for an empty profile).
+    pub fn origin(&self) -> i64 {
+        self.changes.first().map_or(0, |&(s, _)| s)
+    }
+
+    /// One past the last covered slot (0 for an empty profile).
+    pub fn end(&self) -> i64 {
+        self.changes.last().map_or(0, |&(s, _)| s)
+    }
+
+    /// Number of slots in the covered extent `[origin(), end())`.
+    pub fn span(&self) -> u64 {
+        (self.end() - self.origin()) as u64
+    }
+
+    /// The change-points `(slot, count)`: strictly increasing slots, each
+    /// count holding until the next entry, final count always 0.
+    pub fn change_points(&self) -> &[(i64, u32)] {
+        &self.changes
     }
 
     /// Peak concurrent streams (the "maximum bandwidth" of §5's discussion).
     pub fn peak(&self) -> u32 {
-        self.counts.iter().copied().max().unwrap_or(0)
+        self.changes.iter().map(|&(_, c)| c).max().unwrap_or(0)
     }
 
     /// Total transmitted slot-units (`= Fcost`).
     pub fn total_units(&self) -> i64 {
-        self.counts.iter().map(|&c| c as i64).sum()
+        self.changes
+            .windows(2)
+            .map(|w| (w[1].0 - w[0].0) * w[0].1 as i64)
+            .sum()
     }
 
-    /// Average bandwidth over the active horizon, in streams.
+    /// Average bandwidth over the active extent, in streams.
     pub fn average(&self) -> f64 {
-        if self.counts.is_empty() {
+        if self.is_empty() {
             return 0.0;
         }
-        self.total_units() as f64 / self.counts.len() as f64
+        self.total_units() as f64 / self.span() as f64
     }
 
-    /// Bandwidth during a specific slot.
+    /// Bandwidth during a specific slot (0 outside the covered extent).
     pub fn at(&self, slot: i64) -> u32 {
-        if slot < self.origin {
+        let idx = self.changes.partition_point(|&(s, _)| s <= slot);
+        if idx == 0 {
             return 0;
         }
-        self.counts
-            .get((slot - self.origin) as usize)
-            .copied()
-            .unwrap_or(0)
+        self.changes[idx - 1].1
+    }
+
+    /// Materializes the dense per-slot counts of `[lo, hi)` — the window
+    /// view legacy callers (steady-state metering, periodic profiles) need.
+    /// Slots outside the covered extent read as 0.
+    ///
+    /// # Panics
+    /// Panics if `hi < lo`.
+    pub fn window(&self, lo: i64, hi: i64) -> Vec<u32> {
+        assert!(hi >= lo, "window bounds out of order: [{lo}, {hi})");
+        let mut out = Vec::with_capacity((hi - lo) as usize);
+        let mut idx = self.changes.partition_point(|&(s, _)| s <= lo);
+        let mut cur = if idx == 0 { 0 } else { self.changes[idx - 1].1 };
+        for slot in lo..hi {
+            while idx < self.changes.len() && self.changes[idx].0 <= slot {
+                cur = self.changes[idx].1;
+                idx += 1;
+            }
+            out.push(cur);
+        }
+        out
+    }
+}
+
+/// Incremental builder used by the event-driven engine: feed `(slot, count)`
+/// observations in nondecreasing slot order; only actual changes are stored,
+/// so the result is identical to [`BandwidthProfile::from_intervals`] over
+/// the same stream intervals.
+#[derive(Debug, Default)]
+pub(crate) struct ProfileBuilder {
+    changes: Vec<(i64, u32)>,
+    cur: u32,
+}
+
+impl ProfileBuilder {
+    pub(crate) fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records that `count` streams are live from `slot` on.
+    pub(crate) fn record(&mut self, slot: i64, count: u32) {
+        if count != self.cur {
+            debug_assert!(self.changes.last().is_none_or(|&(s, _)| s < slot));
+            self.changes.push((slot, count));
+            self.cur = count;
+        }
+    }
+
+    pub(crate) fn finish(self) -> BandwidthProfile {
+        debug_assert_eq!(self.cur, 0, "profile must close with all streams ended");
+        BandwidthProfile {
+            changes: self.changes,
+        }
     }
 }
 
@@ -84,16 +189,22 @@ mod tests {
     #[test]
     fn empty_profile() {
         let p = BandwidthProfile::from_streams(&[]);
+        assert!(p.is_empty());
         assert_eq!(p.peak(), 0);
         assert_eq!(p.total_units(), 0);
         assert_eq!(p.average(), 0.0);
+        assert_eq!(p.span(), 0);
+        assert_eq!(p.change_points(), &[]);
     }
 
     #[test]
     fn single_stream() {
         let p = BandwidthProfile::from_streams(&[spec(0, 3, 4)]);
-        assert_eq!(p.origin, 3);
-        assert_eq!(p.counts, vec![1, 1, 1, 1]);
+        assert_eq!(p.origin(), 3);
+        assert_eq!(p.end(), 7);
+        assert_eq!(p.span(), 4);
+        assert_eq!(p.change_points(), &[(3, 1), (7, 0)]);
+        assert_eq!(p.window(3, 7), vec![1, 1, 1, 1]);
         assert_eq!(p.peak(), 1);
         assert_eq!(p.total_units(), 4);
         assert_eq!(p.at(3), 1);
@@ -104,7 +215,8 @@ mod tests {
     #[test]
     fn overlapping_streams() {
         let p = BandwidthProfile::from_streams(&[spec(0, 0, 5), spec(1, 2, 2), spec(2, 4, 3)]);
-        assert_eq!(p.counts, vec![1, 1, 2, 2, 2, 1, 1]);
+        assert_eq!(p.window(0, 7), vec![1, 1, 2, 2, 2, 1, 1]);
+        assert_eq!(p.change_points(), &[(0, 1), (2, 2), (5, 1), (7, 0)]);
         assert_eq!(p.peak(), 2);
         assert_eq!(p.total_units(), 10);
     }
@@ -113,5 +225,43 @@ mod tests {
     fn zero_length_streams_ignored() {
         let p = BandwidthProfile::from_streams(&[spec(0, 0, 3), spec(1, 1, 0)]);
         assert_eq!(p.total_units(), 3);
+        assert_eq!(p.span(), 3);
+    }
+
+    #[test]
+    fn back_to_back_streams_coalesce() {
+        // One ends exactly where the next starts: no change-point between.
+        let p = BandwidthProfile::from_streams(&[spec(0, 0, 4), spec(1, 4, 4)]);
+        assert_eq!(p.change_points(), &[(0, 1), (8, 0)]);
+        assert_eq!(p.total_units(), 8);
+    }
+
+    #[test]
+    fn window_extends_past_extent_with_zeros() {
+        let p = BandwidthProfile::from_streams(&[spec(0, 2, 2)]);
+        assert_eq!(p.window(0, 6), vec![0, 0, 1, 1, 0, 0]);
+        assert_eq!(p.window(3, 3), Vec::<u32>::new());
+    }
+
+    #[test]
+    fn from_intervals_matches_from_streams() {
+        let specs = [spec(0, -3, 7), spec(1, 0, 2), spec(2, 1, 9)];
+        let a = BandwidthProfile::from_streams(&specs);
+        let b = BandwidthProfile::from_intervals(specs.iter().map(|s| (s.start, s.end())));
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn builder_matches_batch_construction() {
+        // Feed the sweep of [0,5), [2,4), [4,7) manually.
+        let mut b = ProfileBuilder::new();
+        b.record(0, 1);
+        b.record(2, 2);
+        b.record(4, 2); // end of one, start of another: no change
+        b.record(5, 1);
+        b.record(7, 0);
+        let built = b.finish();
+        let swept = BandwidthProfile::from_intervals([(0, 5), (2, 4), (4, 7)]);
+        assert_eq!(built, swept);
     }
 }

@@ -1,5 +1,6 @@
 //! Concrete broadcast schedules: the Fig.-3 view of a merge forest.
 
+use crate::error::SimError;
 use sm_core::{cost, MergeForest};
 
 /// One scheduled stream: starts at slot `start`, broadcasts parts
@@ -30,14 +31,23 @@ impl StreamSpec {
 
 /// Derives the full broadcast schedule of a forest: the root of each tree
 /// runs `media_len` parts, every other stream exactly its Lemma-1 length.
-pub fn stream_schedule(forest: &MergeForest, times: &[i64], media_len: u64) -> Vec<StreamSpec> {
+///
+/// Fails with [`SimError::MediaLenOverflow`] when `media_len` does not fit
+/// the signed slot arithmetic (a plain `as i64` here would silently wrap to
+/// a negative root length).
+pub fn stream_schedule(
+    forest: &MergeForest,
+    times: &[i64],
+    media_len: u64,
+) -> Result<Vec<StreamSpec>, SimError> {
+    let media = checked_media_len(media_len)?;
     let mut specs = Vec::with_capacity(times.len());
     for (range, tree) in forest.iter_with_ranges() {
         let base = range.start;
         let local_times = &times[range];
         let lens = cost::lengths(tree, local_times);
         for x in 0..tree.len() {
-            let length = if x == 0 { media_len as i64 } else { lens[x] };
+            let length = if x == 0 { media } else { lens[x] };
             specs.push(StreamSpec {
                 node: base + x,
                 start: local_times[x],
@@ -45,7 +55,14 @@ pub fn stream_schedule(forest: &MergeForest, times: &[i64], media_len: u64) -> V
             });
         }
     }
-    specs
+    Ok(specs)
+}
+
+/// The one sanctioned `u64 → i64` conversion for media lengths: all slot
+/// arithmetic is signed, so a media length beyond `i64::MAX` is a hard
+/// model error, not a wrap.
+pub(crate) fn checked_media_len(media_len: u64) -> Result<i64, SimError> {
+    i64::try_from(media_len).map_err(|_| SimError::MediaLenOverflow { media_len })
 }
 
 #[cfg(test)]
@@ -73,7 +90,7 @@ mod tests {
     fn fig3_schedule() {
         let forest = fig4_forest();
         let times = consecutive_slots(8);
-        let specs = stream_schedule(&forest, &times, 15);
+        let specs = stream_schedule(&forest, &times, 15).unwrap();
         let lens: Vec<i64> = specs.iter().map(|s| s.length).collect();
         // Fig. 3: A runs 15 slots, B 1, C 2, D 5, E 1, F 9, G 1, H 2.
         assert_eq!(lens, vec![15, 1, 2, 5, 1, 9, 1, 2]);
@@ -99,8 +116,24 @@ mod tests {
     fn total_schedule_length_is_full_cost() {
         let forest = fig4_forest();
         let times = consecutive_slots(8);
-        let specs = stream_schedule(&forest, &times, 15);
+        let specs = stream_schedule(&forest, &times, 15).unwrap();
         let total: i64 = specs.iter().map(|s| s.length).sum();
         assert_eq!(total, sm_core::full_cost(&forest, &times, 15));
+    }
+
+    #[test]
+    fn oversized_media_len_is_an_error_not_a_wrap() {
+        // `u64::MAX as i64` is −1; the schedule must refuse instead.
+        let forest = fig4_forest();
+        let times = consecutive_slots(8);
+        let err = stream_schedule(&forest, &times, u64::MAX).unwrap_err();
+        assert_eq!(
+            err,
+            SimError::MediaLenOverflow {
+                media_len: u64::MAX
+            }
+        );
+        let boundary = stream_schedule(&forest, &times, i64::MAX as u64 + 1).unwrap_err();
+        assert!(matches!(boundary, SimError::MediaLenOverflow { .. }));
     }
 }

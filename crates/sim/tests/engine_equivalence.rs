@@ -1,0 +1,140 @@
+//! Oracle equivalence: the event-driven engine must reproduce the dense
+//! slot-stepped engine *bit for bit* — same totals, same bandwidth
+//! change-points, same per-client `max_buffer`/`max_concurrent`/`min_slack`,
+//! and the same first error on infeasible inputs — across randomized
+//! forests, arrival sequences, media lengths, and buffer bounds.
+
+use proptest::prelude::*;
+use sm_core::{consecutive_slots, MergeForest, MergeTree};
+use sm_sim::{simulate_with, SimConfig, SimReport};
+
+fn run_both(
+    forest: &MergeForest,
+    times: &[i64],
+    media_len: u64,
+    buffer_bound: Option<u64>,
+) -> (
+    Result<SimReport, sm_sim::SimError>,
+    Result<SimReport, sm_sim::SimError>,
+) {
+    let dense = simulate_with(
+        forest,
+        times,
+        media_len,
+        SimConfig {
+            buffer_bound,
+            ..SimConfig::dense()
+        },
+    );
+    let events = simulate_with(
+        forest,
+        times,
+        media_len,
+        SimConfig {
+            buffer_bound,
+            ..SimConfig::events()
+        },
+    );
+    (dense, events)
+}
+
+/// Full bit-for-bit comparison, plus internal-consistency checks on success.
+fn assert_engines_agree(
+    forest: &MergeForest,
+    times: &[i64],
+    media_len: u64,
+    buffer_bound: Option<u64>,
+) {
+    let (dense, events) = run_both(forest, times, media_len, buffer_bound);
+    assert_eq!(dense, events, "L = {media_len}, n = {}", times.len());
+    if let Ok(report) = events {
+        assert_eq!(report.bandwidth.total_units(), report.total_units);
+        // Per-slot bandwidth agreement at every change-point (and just
+        // before it, exercising the piecewise-constant lookup).
+        let dense_bw = dense.as_ref().unwrap().bandwidth.clone();
+        for &(slot, count) in report.bandwidth.change_points() {
+            assert_eq!(dense_bw.at(slot), count);
+            assert_eq!(report.bandwidth.at(slot), count);
+            assert_eq!(dense_bw.at(slot - 1), report.bandwidth.at(slot - 1));
+        }
+        assert_eq!(report.clients.len(), times.len());
+        for (i, cr) in report.clients.iter().enumerate() {
+            assert_eq!(cr.client, i, "reports must be in arrival order");
+        }
+    }
+}
+
+/// Strictly increasing, irregular arrival times from positive gaps.
+fn cumulate(gaps: &[i64]) -> Vec<i64> {
+    let mut t = 0i64;
+    gaps.iter()
+        .map(|&g| {
+            let at = t;
+            t += g;
+            at
+        })
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn optimal_forests_agree(media_len in 2u64..64, n in 1usize..60) {
+        let plan = sm_offline::forest::optimal_forest(media_len, n);
+        let times = consecutive_slots(n);
+        assert_engines_agree(&plan.forest, &times, media_len, None);
+    }
+
+    #[test]
+    fn optimal_forests_agree_under_buffer_bounds(
+        media_len in 4u64..40,
+        n in 1usize..40,
+        bound in 0u64..6,
+    ) {
+        // Bounds small enough to trip BufferOverflow on many cases: the
+        // engines must agree on the Ok reports *and* on the exact error.
+        let plan = sm_offline::forest::optimal_forest(media_len, n);
+        let times = consecutive_slots(n);
+        assert_engines_agree(&plan.forest, &times, media_len, Some(bound));
+    }
+
+    #[test]
+    fn delay_guaranteed_forests_agree(media_len in 2u64..48, n in 1usize..130) {
+        let alg = sm_online::DelayGuaranteedOnline::new(media_len);
+        let forest = alg.forest_after(n);
+        let times = consecutive_slots(n);
+        assert_engines_agree(&forest, &times, media_len, None);
+    }
+
+    #[test]
+    fn general_dp_forests_agree_on_irregular_arrivals(
+        gaps in proptest::collection::vec(1i64..5, 1..24),
+        media_len in 4u64..24,
+    ) {
+        let times = cumulate(&gaps);
+        let (forest, cost) = sm_offline::general::optimal_forest(&times, media_len);
+        assert_engines_agree(&forest, &times, media_len, None);
+        let (_, events) = run_both(&forest, &times, media_len, None);
+        prop_assert_eq!(events.unwrap().total_units, cost);
+    }
+
+    #[test]
+    fn arbitrary_trees_agree_including_errors(
+        seeds in proptest::collection::vec(0u64..1_000_000, 1..12),
+        media_len in 1u64..18,
+    ) {
+        // Random (frequently infeasible) parent structures: the engines
+        // must return identical errors, not just identical successes.
+        let parents: Vec<Option<usize>> = seeds
+            .iter()
+            .enumerate()
+            .map(|(i, &s)| if i == 0 { None } else { Some((s as usize) % i) })
+            .collect();
+        let tree = MergeTree::from_parents(&parents).unwrap();
+        let n = parents.len();
+        let forest = MergeForest::single(tree);
+        let times = consecutive_slots(n);
+        assert_engines_agree(&forest, &times, media_len, None);
+    }
+}

@@ -10,11 +10,13 @@
 pub mod arrivals;
 pub mod bursty;
 pub mod diurnal;
+pub mod flash_crowd;
 pub mod scenario;
 pub mod stats;
 
 pub use arrivals::{ArrivalProcess, ConstantRate, PoissonProcess};
 pub use bursty::BurstyProcess;
 pub use diurnal::DiurnalProcess;
+pub use flash_crowd::FlashCrowd;
 pub use scenario::Scenario;
 pub use stats::Summary;

@@ -59,6 +59,33 @@ pub fn tight_delay() -> Scenario {
     }
 }
 
+/// The flash-crowd scenario: steady background traffic with a premiere
+/// spike one media length into the horizon. Pair the returned scenario with
+/// [`crate::FlashCrowd`] via [`flash_crowd_process`] — the spike multiplies
+/// the base rate by 50 for half a media length, the load shape the
+/// event-driven simulator is built to absorb.
+pub fn flash_crowd() -> Scenario {
+    Scenario {
+        name: "flash crowd (×50 premiere spike)",
+        media_slots: 100,
+        horizon_slots: 100.0 * 100.0,
+        mean_gap_slots: 2.0,
+    }
+}
+
+/// The seeded [`crate::FlashCrowd`] process matching [`flash_crowd`]: the
+/// spike starts at one media length and lasts half a media length.
+pub fn flash_crowd_process(seed: u64) -> crate::FlashCrowd {
+    let s = flash_crowd();
+    crate::FlashCrowd::new(
+        s.mean_gap_slots,
+        s.media_slots as f64,
+        s.media_slots as f64 / 2.0,
+        50.0,
+        seed,
+    )
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -79,6 +106,19 @@ mod tests {
         assert_eq!(s.media_slots, 8);
         assert_eq!(s.horizon_slots, 96.0);
         assert!(s.expected_arrivals() > 100.0);
+    }
+
+    #[test]
+    fn flash_crowd_scenario_and_process_agree() {
+        use crate::ArrivalProcess;
+        let s = flash_crowd();
+        let mut p = flash_crowd_process(5);
+        assert_eq!(p.mean_interarrival(), s.mean_gap_slots);
+        let ts = p.generate(s.horizon_slots);
+        // The spike window [L, 1.5L) is far denser than steady state.
+        let in_spike = ts.iter().filter(|&&t| (100.0..150.0).contains(&t)).count() as f64;
+        let steady = ts.iter().filter(|&&t| (500.0..550.0).contains(&t)).count() as f64;
+        assert!(in_spike > 5.0 * steady.max(1.0));
     }
 
     #[test]

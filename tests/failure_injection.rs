@@ -46,6 +46,7 @@ fn buffer_bound_violations_are_caught_by_the_simulator() {
         15,
         SimConfig {
             buffer_bound: Some(1),
+            ..SimConfig::default()
         },
     );
     assert!(err.is_err(), "buffer bound 1 must be violated");
@@ -56,6 +57,7 @@ fn buffer_bound_violations_are_caught_by_the_simulator() {
         15,
         SimConfig {
             buffer_bound: Some(7),
+            ..SimConfig::default()
         },
     )
     .unwrap();

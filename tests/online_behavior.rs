@@ -76,7 +76,7 @@ fn online_plan_fits_exactly_peak_channels() {
     let n = 240usize;
     let forest = alg.forest_after(n);
     let times = consecutive_slots(n);
-    let specs = stream_schedule(&forest, &times, 60);
+    let specs = stream_schedule(&forest, &times, 60).unwrap();
     let plan = assign_channels(&specs);
     let peak = BandwidthProfile::from_streams(&specs).peak();
     assert_eq!(plan.channels_used, peak);
@@ -89,9 +89,9 @@ fn steady_state_peak_bounds_any_horizon_interior() {
     let n = 800usize;
     let forest = alg.forest_after(n);
     let times = consecutive_slots(n);
-    let profile = BandwidthProfile::from_streams(&stream_schedule(&forest, &times, 80));
+    let profile = BandwidthProfile::from_streams(&stream_schedule(&forest, &times, 80).unwrap());
     // Interior slots (skip L at each end) never exceed the steady peak.
-    let counts = &profile.counts[80..profile.counts.len() - 160];
+    let counts = profile.window(profile.origin() + 80, profile.end() - 160);
     assert!(counts.iter().all(|&c| c <= ss.peak));
     assert!(counts.contains(&ss.peak));
 }

@@ -75,6 +75,7 @@ fn bounded_buffer_forests_respect_bound_in_simulation() {
             media_len,
             SimConfig {
                 buffer_bound: Some(buffer),
+                ..SimConfig::default()
             },
         )
         .unwrap_or_else(|e| panic!("L = {media_len}, n = {n}, B = {buffer}: {e}"));
@@ -109,5 +110,18 @@ fn peak_bandwidth_bounded_by_tree_heights() {
     assert_eq!(bw.total_units(), report.total_units);
     assert!(bw.peak() as i64 <= report.total_units);
     assert!(bw.average() > 0.0);
-    assert!((bw.average() - report.total_units as f64 / bw.counts.len() as f64).abs() < 1e-9);
+    assert!((bw.average() - report.total_units as f64 / bw.span() as f64).abs() < 1e-9);
+}
+
+#[test]
+fn dense_and_event_engines_agree_end_to_end() {
+    // The proptest suite pins equivalence on randomized inputs; this pins
+    // it on the paper's own plans, through the facade crate.
+    for (media_len, n) in [(15u64, 8usize), (40, 60), (100, 200)] {
+        let plan = optimal_forest(media_len, n);
+        let times = consecutive_slots(n);
+        let dense = simulate_with(&plan.forest, &times, media_len, SimConfig::dense()).unwrap();
+        let events = simulate_with(&plan.forest, &times, media_len, SimConfig::events()).unwrap();
+        assert_eq!(dense, events, "L = {media_len}, n = {n}");
+    }
 }
