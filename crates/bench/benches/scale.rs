@@ -1,25 +1,37 @@
 //! Scale: the event-driven engine at a million arrivals.
 //!
-//! Two million-client shapes, both streamed through
+//! Three million-client shapes, all streamed through
 //! [`sm_sim::simulate_streaming`] so per-client reports are consumed and
-//! dropped as their part-deadlines fire — peak memory is the schedule plus
-//! the active-stream heap, never a per-slot array over the horizon:
+//! dropped as their part-deadlines fire and the schedule itself is pulled
+//! (and released) tree-by-tree — peak memory tracks the *active* trees and
+//! streams, never a full-schedule vector or a per-slot array over the
+//! horizon:
 //!
 //! * the Delay Guaranteed grid (one merged client per slot, the §4.1
-//!   steady-state server shape);
+//!   steady-state server shape — balanced trees, logarithmic programs);
+//! * deep merge chains (`sm_workload::deep_chain_forest`, depth `L/2 + 1`
+//!   per tree — the shape that made the former candidates × segments
+//!   evaluator superlinear; with the endpoint sweep the wall-time ratio to
+//!   the balanced grid is flat in `n` at the genuine program-content ratio
+//!   — chain programs carry ~26 segments/client vs ~8, measured ≈ 4× — and
+//!   the printed ratio line plus `BENCH_scale.json` track it per commit);
 //! * a flash-crowd workload (Poisson with a ×20 premiere spike), co-slot
 //!   arrivals batched into star trees — one full stream per occupied slot,
 //!   spike clients riding the batch.
 //!
 //! `SM_SCALE_ARRIVALS` overrides the arrival count (CI smoke-runs a small
-//! N; the default is 10⁶).
+//! N; the default is 10⁶). Besides the criterion timings, one dedicated
+//! measured run per case is appended to a machine-readable
+//! `BENCH_scale.json` (workspace root, or the `SM_BENCH_JSON` path) so the
+//! perf trajectory accumulates across commits.
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use sm_core::{consecutive_slots, MergeForest, MergeTree};
 use sm_online::DelayGuaranteedOnline;
-use sm_sim::{simulate_streaming, SimConfig};
-use sm_workload::{ArrivalProcess, FlashCrowd};
+use sm_sim::{simulate_streaming, SimConfig, StreamingSummary};
+use sm_workload::{deep_chain_forest, ArrivalProcess, FlashCrowd};
 use std::hint::black_box;
+use std::time::Instant;
 
 fn scale_arrivals() -> usize {
     std::env::var("SM_SCALE_ARRIVALS")
@@ -51,16 +63,95 @@ fn batched_star_forest(slots: &[i64]) -> (MergeForest, Vec<i64>) {
     )
 }
 
+/// One measured scale datapoint for `BENCH_scale.json`.
+struct CaseResult {
+    name: String,
+    arrivals: usize,
+    wall_ms: f64,
+    peak_streams: u32,
+    total_units: i64,
+}
+
+/// One dedicated timed streaming run (outside the criterion sampling),
+/// recording wall time and the whole-run aggregates.
+fn timed_case(
+    name: impl Into<String>,
+    forest: &MergeForest,
+    times: &[i64],
+    media_len: u64,
+) -> (CaseResult, StreamingSummary) {
+    let t0 = Instant::now();
+    let mut served = 0usize;
+    let summary = simulate_streaming(forest, times, media_len, SimConfig::events(), |report| {
+        served += 1;
+        black_box(report.max_buffer);
+    })
+    .expect("scale shapes must execute");
+    let wall_ms = t0.elapsed().as_secs_f64() * 1e3;
+    assert_eq!(served, times.len());
+    (
+        CaseResult {
+            name: name.into(),
+            arrivals: times.len(),
+            wall_ms,
+            peak_streams: summary.bandwidth.peak(),
+            total_units: summary.total_units,
+        },
+        summary,
+    )
+}
+
+/// Writes the run's datapoints as one JSON snapshot; hand-rolled (the
+/// offline workspace vendors no serde) but machine-readable. Full-size runs
+/// refresh the committed `BENCH_scale.json` (the per-commit perf
+/// trajectory); reduced-N smoke runs (`SM_SCALE_ARRIVALS` set) go to the
+/// gitignored `BENCH_scale_smoke.json` so they never clobber the committed
+/// 10⁶-arrival datapoints. `SM_BENCH_JSON` overrides the path outright.
+fn write_bench_json(results: &[CaseResult]) {
+    let default_path = if std::env::var_os("SM_SCALE_ARRIVALS").is_some() {
+        concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_scale_smoke.json")
+    } else {
+        concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_scale.json")
+    };
+    let path = std::env::var("SM_BENCH_JSON").unwrap_or_else(|_| default_path.into());
+    let mut out = String::from("{\n  \"bench\": \"scale\",\n  \"engine\": \"events\",\n");
+    out.push_str("  \"cases\": [\n");
+    for (i, r) in results.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{\"name\": \"{}\", \"arrivals\": {}, \"engine\": \"events\", \
+             \"wall_ms\": {:.3}, \"peak_streams\": {}, \"total_units\": {}}}{}\n",
+            r.name,
+            r.arrivals,
+            r.wall_ms,
+            r.peak_streams,
+            r.total_units,
+            if i + 1 < results.len() { "," } else { "" }
+        ));
+    }
+    out.push_str("  ]\n}\n");
+    match std::fs::write(&path, out) {
+        Ok(()) => println!("bench-json: wrote {} cases to {path}", results.len()),
+        Err(e) => eprintln!("bench-json: could not write {path}: {e}"),
+    }
+}
+
 fn bench_scale(c: &mut Criterion) {
     let n = scale_arrivals();
     let media_len = 100u64;
     let mut g = c.benchmark_group("scale");
     g.sample_size(10);
+    let mut results = Vec::new();
 
-    // Delay Guaranteed grid: n slots, one client each.
+    // Delay Guaranteed grid: n slots, one client each (balanced trees).
     let alg = DelayGuaranteedOnline::new(media_len);
     let forest = alg.forest_after(n);
     let times = consecutive_slots(n);
+    let (dg_case, _) = timed_case(
+        format!("events_dg_L{media_len}"),
+        &forest,
+        &times,
+        media_len,
+    );
     g.bench_function(format!("events_dg_L{media_len}_n{n}"), |b| {
         b.iter(|| {
             let mut served = 0usize;
@@ -81,6 +172,46 @@ fn bench_scale(c: &mut Criterion) {
     });
     drop((forest, times));
 
+    // Deep chains at the same arrival count: the former quadratic
+    // per-client evaluator made this shape superlinearly slower than the
+    // balanced grid; with the endpoint sweep it must stay comparable.
+    let (forest, times) = deep_chain_forest(n, media_len);
+    let (chain_case, _) = timed_case(
+        format!("events_deep_chain_L{media_len}"),
+        &forest,
+        &times,
+        media_len,
+    );
+    g.bench_function(format!("events_deep_chain_L{media_len}_n{n}"), |b| {
+        b.iter(|| {
+            let mut served = 0usize;
+            let summary = simulate_streaming(
+                black_box(&forest),
+                black_box(&times),
+                media_len,
+                SimConfig::events(),
+                |report| {
+                    served += 1;
+                    black_box(report.max_buffer);
+                },
+            )
+            .expect("deep chains are feasible by construction");
+            assert_eq!(served, n);
+            black_box(summary.total_units)
+        })
+    });
+    drop((forest, times));
+    println!(
+        "bench: scale/deep_chain vs balanced wall-time ratio: {:.2}x \
+         ({:.1} ms vs {:.1} ms at n = {})",
+        chain_case.wall_ms / dg_case.wall_ms.max(1e-9),
+        chain_case.wall_ms,
+        dg_case.wall_ms,
+        n
+    );
+    results.push(dg_case);
+    results.push(chain_case);
+
     // Flash crowd: Poisson background, ×20 spike, batched per slot.
     let horizon = (n as f64 * 0.45).max(100.0);
     let mut crowd = FlashCrowd::new(0.5, horizon * 0.4, horizon * 0.01, 20.0, 42);
@@ -91,6 +222,13 @@ fn bench_scale(c: &mut Criterion) {
         .collect();
     let (forest, times) = batched_star_forest(&slots);
     let clients = times.len();
+    let (crowd_case, _) = timed_case(
+        format!("events_flash_crowd_L{media_len}"),
+        &forest,
+        &times,
+        media_len,
+    );
+    results.push(crowd_case);
     g.bench_function(format!("events_flash_crowd_L{media_len}_n{clients}"), |b| {
         b.iter(|| {
             let mut served = 0usize;
@@ -110,6 +248,8 @@ fn bench_scale(c: &mut Criterion) {
         })
     });
     g.finish();
+
+    write_bench_json(&results);
 }
 
 criterion_group!(benches, bench_scale);

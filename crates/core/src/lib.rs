@@ -35,6 +35,7 @@ pub mod cost;
 pub mod diagram;
 pub mod error;
 pub mod forest;
+pub mod parallel;
 pub mod receive_all_program;
 pub mod receiving;
 pub mod time;
@@ -45,6 +46,7 @@ pub use buffer::{buffer_profile, required_buffer};
 pub use cost::{full_cost, lengths, merge_cost, receive_all_lengths, receive_all_merge_cost};
 pub use error::ModelError;
 pub use forest::MergeForest;
+pub use parallel::parallel_map;
 pub use receive_all_program::ReceiveAllProgram;
 pub use receiving::{ReceivingProgram, StageSegment};
 pub use time::{consecutive_slots, TimeScalar};

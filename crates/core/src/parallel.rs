@@ -1,0 +1,103 @@
+//! Deterministic fork-join parallelism shared across the workspace.
+//!
+//! Experiment sweeps are embarrassingly parallel across their points, and the
+//! §5 multi-object server simulates its titles independently — both shard
+//! through [`parallel_map`]: `std::thread::scope` workers pull indices off a
+//! shared atomic counter and write results through a `parking_lot` mutex — no
+//! `unsafe`, no cloning of inputs, and results are always returned in input
+//! order, so parallel callers are bit-identical to sequential ones.
+
+use parking_lot::Mutex;
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+std::thread_local! {
+    /// `true` while the current thread is a `parallel_map` worker: nested
+    /// calls (an experiment sweep point invoking the sharded server layer,
+    /// say) run sequentially instead of oversubscribing the machine with
+    /// `threads²` scoped threads.
+    static IN_WORKER: std::cell::Cell<bool> = const { std::cell::Cell::new(false) };
+}
+
+/// Applies `f` to every item, using up to `available_parallelism` threads.
+/// Results are returned in input order. Falls back to sequential execution
+/// for tiny inputs and when called from inside another `parallel_map`
+/// (the outer call already saturates the cores).
+pub fn parallel_map<T, R, F>(items: &[T], f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(&T) -> R + Sync,
+{
+    let threads = std::thread::available_parallelism()
+        .map(|p| p.get())
+        .unwrap_or(2)
+        .min(items.len().max(1));
+    if threads <= 1 || items.len() <= 1 || IN_WORKER.get() {
+        return items.iter().map(&f).collect();
+    }
+    let next = AtomicUsize::new(0);
+    let slots: Vec<Mutex<Option<R>>> = items.iter().map(|_| Mutex::new(None)).collect();
+    std::thread::scope(|scope| {
+        for _ in 0..threads {
+            scope.spawn(|| {
+                IN_WORKER.set(true);
+                loop {
+                    let i = next.fetch_add(1, Ordering::Relaxed);
+                    if i >= items.len() {
+                        break;
+                    }
+                    let r = f(&items[i]);
+                    *slots[i].lock() = Some(r);
+                }
+            });
+        }
+    });
+    slots
+        .into_iter()
+        .map(|m| m.into_inner().expect("every slot filled"))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn preserves_order() {
+        let items: Vec<u64> = (0..1000).collect();
+        let out = parallel_map(&items, |&x| x * x);
+        for (i, &v) in out.iter().enumerate() {
+            assert_eq!(v, (i * i) as u64);
+        }
+    }
+
+    #[test]
+    fn works_on_small_inputs() {
+        assert_eq!(parallel_map(&[] as &[u32], |&x| x), Vec::<u32>::new());
+        assert_eq!(parallel_map(&[7u32], |&x| x + 1), vec![8]);
+    }
+
+    #[test]
+    fn handles_non_copy_results() {
+        let items = vec!["a", "bb", "ccc"];
+        let out = parallel_map(&items, |s| s.to_string());
+        assert_eq!(out, vec!["a", "bb", "ccc"]);
+    }
+
+    #[test]
+    fn nested_calls_run_sequentially_with_identical_results() {
+        let outer: Vec<u64> = (0..64).collect();
+        let out = parallel_map(&outer, |&x| {
+            let inner: Vec<u64> = (0..32).collect();
+            // On a worker thread the nested call must not spawn again —
+            // and either way the result is the plain sequential one.
+            parallel_map(&inner, |&y| x * 100 + y)
+                .into_iter()
+                .sum::<u64>()
+        });
+        for (x, &v) in out.iter().enumerate() {
+            let expect: u64 = (0..32).map(|y| x as u64 * 100 + y).sum();
+            assert_eq!(v, expect);
+        }
+    }
+}

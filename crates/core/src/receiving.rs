@@ -60,12 +60,31 @@ impl ReceivingProgram {
     /// # Panics
     /// Panics if `times.len() != tree.len()` or `client` is out of range.
     pub fn build(tree: &MergeTree, times: &[i64], media_len: u64, client: usize) -> Self {
+        let mut prog = Self {
+            client,
+            path: Vec::new(),
+            segments: Vec::new(),
+        };
+        prog.rebuild(tree, times, media_len, client);
+        prog
+    }
+
+    /// Rebuilds the program in place, reusing the `path`/`segments`
+    /// allocations — the hot-loop form of [`Self::build`] (identical
+    /// output) for callers evaluating many clients back to back.
+    ///
+    /// # Panics
+    /// Panics if `times.len() != tree.len()` or `client` is out of range.
+    pub fn rebuild(&mut self, tree: &MergeTree, times: &[i64], media_len: u64, client: usize) {
         assert_eq!(times.len(), tree.len());
-        let path = tree.path_from_root(client);
+        self.client = client;
+        tree.path_from_root_into(client, &mut self.path);
+        let path = &self.path;
         let k = path.len() - 1;
         let tk = times[path[k]];
         let media = media_len as i64;
-        let mut segments = Vec::with_capacity(path.len());
+        self.segments.clear();
+        self.segments.reserve(path.len());
         // j runs from the client's own stream (j = k) down to the root.
         for j in (0..=k).rev() {
             let tj = times[path[j]];
@@ -76,16 +95,11 @@ impl ReceivingProgram {
             } else {
                 2 * tk - tj - times[path[j - 1]]
             };
-            segments.push(StageSegment {
+            self.segments.push(StageSegment {
                 stream: path[j],
                 first_part: first,
                 last_part: last,
             });
-        }
-        Self {
-            client,
-            path,
-            segments,
         }
     }
 

@@ -133,16 +133,23 @@ impl MergeTree {
     /// client's *receiving program* skeleton (`x_0 < x_1 < … < x_k`).
     pub fn path_from_root(&self, node: usize) -> Vec<usize> {
         let mut path = Vec::new();
+        self.path_from_root_into(node, &mut path);
+        path
+    }
+
+    /// Writes the root path of `node` into `out` (cleared first), reusing
+    /// its allocation — the hot-loop form of [`Self::path_from_root`].
+    pub fn path_from_root_into(&self, node: usize, out: &mut Vec<usize>) {
+        out.clear();
         let mut cur = node;
         loop {
-            path.push(cur);
+            out.push(cur);
             match self.parent(cur) {
                 Some(p) => cur = p,
                 None => break,
             }
         }
-        path.reverse();
-        path
+        out.reverse();
     }
 
     /// Depth of `node` (root has depth 0).

@@ -11,8 +11,8 @@
 //! verified channels per static scheme next to DG's measured steady-state
 //! peak and average.
 
-use crate::parallel::parallel_map;
 use sm_broadcast::static_tradeoff;
+use sm_core::parallel_map;
 use sm_online::capacity::steady_state_bandwidth;
 
 /// One delay point: channel demand per scheme.

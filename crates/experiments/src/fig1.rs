@@ -8,7 +8,7 @@
 //! total server bandwidth in complete-stream equivalents. We fix the horizon
 //! at `horizon_media` media lengths (the empirical section uses 100).
 
-use crate::parallel::parallel_map;
+use sm_core::parallel_map;
 use sm_offline::forest::optimal_full_cost;
 use sm_online::delay_guaranteed::online_full_cost;
 

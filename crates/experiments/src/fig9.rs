@@ -2,7 +2,7 @@
 //! the time horizon grows — the empirical counterpart of Theorem 22
 //! (`A/F ≤ 1 + 2L/n`, so the ratio tends to 1).
 
-use crate::parallel::parallel_map;
+use sm_core::parallel_map;
 use sm_offline::forest::optimal_full_cost;
 use sm_online::analysis;
 use sm_online::delay_guaranteed::online_full_cost;

@@ -6,7 +6,7 @@
 //! pure-DG cost during bursts and pure-dyadic cost during lulls; we sweep
 //! the burst/lull asymmetry and report all three totals.
 
-use crate::parallel::parallel_map;
+use sm_core::parallel_map;
 use sm_online::batching::batched_dyadic_cost;
 use sm_online::delay_guaranteed::online_full_cost;
 use sm_online::dyadic::DyadicConfig;

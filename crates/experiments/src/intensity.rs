@@ -11,7 +11,7 @@
 //! Dyadic parameters follow the paper: α = φ with β = F_h/L for
 //! constant-rate and β = 0.5 for Poisson.
 
-use crate::parallel::parallel_map;
+use sm_core::parallel_map;
 use sm_online::batching::{batched_dyadic_cost, plain_batching_cost};
 use sm_online::delay_guaranteed::online_full_cost;
 use sm_online::dyadic::{dyadic_total_cost, DyadicConfig};

@@ -19,7 +19,8 @@
 //!
 //! Each module returns plain row structs; binaries render them as aligned
 //! text and CSV under `results/`. Sweeps parallelize over their points with
-//! [`parallel::parallel_map`] (crossbeam scoped threads).
+//! [`sm_core::parallel_map`] (scoped threads, results in input order) — the
+//! same primitive the sharded `sm_server` layer uses.
 
 pub mod broadcast_exp;
 pub mod fig1;
@@ -28,7 +29,6 @@ pub mod fig9;
 pub mod hybrid_exp;
 pub mod intensity;
 pub mod output;
-pub mod parallel;
 pub mod policies;
 pub mod ratios;
 pub mod server_exp;

@@ -18,7 +18,7 @@
 //! degenerates towards one full stream per arrival and DG — which pays for
 //! empty slots — loses.
 
-use crate::parallel::parallel_map;
+use sm_core::parallel_map;
 use sm_offline::general;
 use sm_online::batching::{batch_arrivals, plain_batching_cost};
 use sm_online::delay_guaranteed::online_full_cost;

@@ -1,7 +1,7 @@
 //! Ratio tables behind Theorems 14, 19, 20 and 22 — the paper's analytic
 //! comparisons rendered as data.
 
-use crate::parallel::parallel_map;
+use sm_core::parallel_map;
 use sm_offline::bounds;
 use sm_offline::closed_form::ClosedForm;
 use sm_offline::receive_all;

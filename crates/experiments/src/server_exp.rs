@@ -12,7 +12,7 @@
 //! and the *measured* aggregate peak (phase-aligned sum of the periodic DG
 //! profiles), which must respect the budget.
 
-use crate::parallel::parallel_map;
+use sm_core::parallel_map;
 use sm_server::{aggregate_profile, plan_weighted, Catalog, DelayPlan};
 
 /// One budget point.

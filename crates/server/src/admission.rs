@@ -19,7 +19,7 @@ use rand::{RngExt, SeedableRng};
 
 use crate::catalog::Catalog;
 use crate::planner::DelayPlan;
-use sm_core::consecutive_slots;
+use sm_core::{consecutive_slots, parallel_map};
 use sm_online::delay_guaranteed::DelayGuaranteedOnline;
 use sm_sim::{stream_schedule, BandwidthProfile};
 
@@ -59,12 +59,17 @@ pub fn aggregate_profile(
 ) -> AggregateReport {
     assert_eq!(plan.delays_minutes.len(), catalog.len());
     assert!(horizon_minutes > 0);
-    let profiles: Vec<(f64, Vec<u32>)> = catalog
+    // Each title's periodic profile is an independent forest + schedule
+    // construction: shard them across threads (order-preserving, so the
+    // aggregate is bit-identical to a sequential sum).
+    let jobs: Vec<(f64, u64)> = catalog
         .titles()
         .iter()
         .zip(&plan.delays_minutes)
-        .map(|(t, &d)| (d, periodic_profile(t.media_len(d))))
+        .map(|(t, &d)| (d, t.media_len(d)))
         .collect();
+    let profiles: Vec<(f64, Vec<u32>)> =
+        parallel_map(&jobs, |&(d, media_len)| (d, periodic_profile(media_len)));
     let mut per_minute = vec![0u64; horizon_minutes as usize];
     for (m, slot_count) in per_minute.iter_mut().enumerate() {
         for (delay, profile) in &profiles {

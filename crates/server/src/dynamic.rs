@@ -10,7 +10,9 @@
 //! *stream-exact*: every stream of every epoch is materialized from the
 //! Delay Guaranteed template (its Lemma-1 truncated length included) and
 //! binned on the minute grid, so the transition overlap is measured, not
-//! modeled.
+//! modeled. Titles are simulated independently and sharded across threads
+//! with [`sm_core::parallel_map`]; result order (and hence every number in
+//! the report) is deterministic.
 //!
 //! The report separates the steady-state peak (which the planner guarantees
 //! under the budget) from the transition peak (old + new streams briefly
@@ -19,7 +21,7 @@
 
 use crate::catalog::Catalog;
 use crate::planner::{plan_weighted, DelayPlan};
-use sm_core::consecutive_slots;
+use sm_core::{consecutive_slots, parallel_map};
 use sm_online::delay_guaranteed::DelayGuaranteedOnline;
 use sm_sim::{stream_schedule, BandwidthProfile};
 
@@ -131,9 +133,23 @@ pub fn simulate_dynamic(
             continue;
         }
         let plan = plan_weighted(&epoch.catalog, budget, candidates_minutes)?;
-        for (title, &delay) in epoch.catalog.titles().iter().zip(&plan.delays_minutes) {
+        // Titles are independent objects: materialize each title's exact
+        // stream intervals on its own thread (`parallel_map` returns results
+        // in input order, so the collected intervals — and therefore the
+        // whole report — are bit-identical to a sequential run).
+        let jobs: Vec<(f64, u64)> = epoch
+            .catalog
+            .titles()
+            .iter()
+            .zip(&plan.delays_minutes)
+            .map(|(title, &delay)| (title.duration_minutes, delay as u64))
+            .collect();
+        let per_title = parallel_map(&jobs, |&(duration, delay)| {
+            title_streams(duration, delay, t0, t1)
+        });
+        for (title, streams) in epoch.catalog.titles().iter().zip(per_title) {
             longest_media = longest_media.max(title.duration_minutes.ceil() as u64);
-            for (s, e) in title_streams(title.duration_minutes, delay as u64, t0, t1) {
+            for (s, e) in streams {
                 intervals.push((s.min(horizon_minutes) as i64, e.min(horizon_minutes) as i64));
             }
         }

@@ -28,6 +28,12 @@
 //!   accounting: the §5 point that dynamic channel allocation lets the
 //!   server *change* the guaranteed delay without tearing anything down.
 //!
+//! Titles are independent objects, so the expensive per-title work —
+//! steady-state capacity analyses in [`planner`], periodic profiles in
+//! [`admission`], exact stream materialization in [`dynamic`] — is sharded
+//! across threads with [`sm_core::parallel_map`]. Results are collected in
+//! input order, so every report is bit-identical to a sequential run.
+//!
 //! # Example
 //!
 //! ```

@@ -12,10 +12,17 @@
 //! the delay of whichever title buys the most bandwidth per unit of
 //! weighted-delay pain. [`brute_force_plan`] solves small instances exactly
 //! and the tests verify the greedy matches it.
+//!
+//! The expensive part — one steady-state Delay Guaranteed analysis per
+//! distinct `(title, candidate-delay)` media length — is sharded across
+//! threads with [`sm_core::parallel_map`] before the (cheap, sequential)
+//! greedy runs, so large catalogs plan in parallel with bit-identical
+//! results.
 
 use std::collections::HashMap;
 
 use crate::catalog::Catalog;
+use sm_core::parallel_map;
 use sm_online::capacity::steady_state_bandwidth;
 
 /// A per-title delay assignment and its verified bandwidth demand.
@@ -80,9 +87,41 @@ pub fn plan_weighted(
         "candidate delays must be strictly ascending"
     );
     let probs = catalog.probabilities();
+    // The per-length steady-state analyses are independent, so shard the
+    // distinct ones across threads and seed the memo cache (order-
+    // preserving — the chosen plan is identical to a sequential run). Two
+    // stages keep the common generous-budget case cheap: only the
+    // smallest-delay lengths are analyzed up front; the full
+    // |titles| × |candidates| cross product is precomputed just before the
+    // greedy starts relaxing, when most of it will be queried anyway.
+    let seed_cache = |cache: &mut HashMap<u64, u32>, mut lens: Vec<u64>| {
+        lens.sort_unstable();
+        lens.dedup();
+        lens.retain(|l| !cache.contains_key(l));
+        let peaks = parallel_map(&lens, |&l| steady_state_bandwidth(l).peak);
+        cache.extend(lens.into_iter().zip(peaks));
+    };
     let mut cache = HashMap::new();
+    seed_cache(
+        &mut cache,
+        catalog
+            .titles()
+            .iter()
+            .map(|t| t.media_len(candidates_minutes[0]))
+            .collect(),
+    );
     let mut choice = vec![0usize; catalog.len()];
     let mut plan = build_plan(catalog, candidates_minutes, &choice, &mut cache);
+    if plan.total_peak > budget_streams {
+        seed_cache(
+            &mut cache,
+            catalog
+                .titles()
+                .iter()
+                .flat_map(|t| candidates_minutes.iter().map(|&d| t.media_len(d)))
+                .collect(),
+        );
+    }
     while plan.total_peak > budget_streams {
         // Candidate moves: advance one title to its next larger delay.
         let mut best: Option<(usize, f64)> = None;

@@ -3,15 +3,24 @@
 //! Where the [`dense`](super::dense) engine sweeps every slot of every
 //! client's playback window, this engine advances time only at *events*:
 //!
-//! * **stream starts** — arrivals are time-ordered, so pending starts are a
-//!   sorted cursor, not heap entries;
+//! * **stream starts** — pulled lazily, tree by tree, from a
+//!   [`ScheduleStream`]: arrival times are nondecreasing in every real
+//!   workload, so the next start is a cursor into the most recently pulled
+//!   tree, not a heap entry;
 //! * **stream ends** — pushed into a binary min-heap when their stream
 //!   starts, so the heap never holds more than the currently *active*
 //!   streams;
 //! * **per-client part-deadlines** — each client's program ends with part
 //!   `L` playing during `[t_c+L−1, t_c+L)`; the final deadline `t_c + L` is
 //!   the event at which the client's whole program is checked and its
-//!   report emitted.
+//!   report emitted. Deadlines are a cursor over the arrival sequence — no
+//!   per-client allocation.
+//!
+//! A pulled tree is retained only until its last client's deadline fires,
+//! so schedule memory is proportional to the trees whose playback windows
+//! are *open*, not to the whole arrival sequence. (Exotic inputs with
+//! globally unsorted arrival times fall back to an eager path that
+//! materializes and sorts the schedule; results are identical either way.)
 //!
 //! Bandwidth is metered sparsely: the active-stream count is recorded only
 //! when it changes, yielding the change-point [`BandwidthProfile`] directly
@@ -28,22 +37,24 @@
 //! * reception occupies the slot interval `[t_j+first−1, t_j+last−1]`, so
 //!   receive-two compliance is interval-overlap ≤ 2;
 //! * buffer occupancy `received(τ) − played(τ)` is piecewise linear in `τ`
-//!   with breakpoints only at segment interval endpoints (and `t_c`,
-//!   `t_c + L`), so its maximum is attained at one of `O(segments)`
-//!   candidate slots.
+//!   with kinks only at segment interval endpoints (and `t_c`, `t_c + L`);
+//!   one merged sweep over the sorted endpoints evaluates every kink
+//!   candidate with a running `(open streams, Σ open starts, finished
+//!   parts)` prefix — `O(segments log segments)` total, never
+//!   candidates × segments.
 //!
 //! All of this reproduces the dense engine's measurements *bit for bit*
 //! (including which error fires first); the `engine_equivalence` proptest
-//! suite pins that.
+//! suite pins that, for the collected and the streaming API both.
 
 use std::cmp::Reverse;
-use std::collections::BinaryHeap;
+use std::collections::{BinaryHeap, VecDeque};
 
 use super::{ClientReport, SimConfig, SimReport};
 use crate::error::SimError;
 use crate::metrics::{BandwidthProfile, ProfileBuilder};
-use crate::schedule::{stream_schedule, StreamSpec};
-use sm_core::{MergeForest, ReceivingProgram};
+use crate::schedule::{stream_schedule, ScheduleStream, StreamSpec};
+use sm_core::{MergeForest, MergeTree, ReceivingProgram};
 
 /// Whole-run aggregates of a streaming simulation (everything a
 /// [`SimReport`] holds except the per-client vector).
@@ -83,8 +94,23 @@ pub(super) fn run(
             // replay client checks in index order so the reported error is
             // identical either way. Error path only: no cost on success.
             let specs = stream_schedule(forest, times, media_len)?;
-            for c in 0..times.len() {
-                eval_client(forest, times, &specs, media_len, c, config)?;
+            let mut scratch = EvalScratch::default();
+            for (range, tree) in forest.iter_with_ranges() {
+                let base = range.start;
+                let local_times = &times[range.clone()];
+                let local_specs = &specs[range];
+                for local in 0..tree.len() {
+                    eval_client(
+                        tree,
+                        local_times,
+                        local_specs,
+                        media_len,
+                        base,
+                        local,
+                        config,
+                        &mut scratch,
+                    )?;
+                }
             }
             Err(streaming_err)
         }
@@ -95,17 +121,19 @@ pub(super) fn run(
 ///
 /// `emit` is called once per client, in part-deadline order (`t_c + L`,
 /// ties by arrival index), as soon as the client's program completes —
-/// nothing per-client is retained afterwards, so peak memory is the
-/// schedule plus the active-stream heap rather than `O(clients)` reports.
-/// `config.buffer_bound` is honored; `config.engine` is ignored (this *is*
-/// the event engine).
+/// nothing per-client is retained afterwards. For nondecreasing arrival
+/// times (the model's canonical form) the schedule itself is pulled lazily
+/// tree-by-tree and each tree is dropped once its last client is served, so
+/// peak memory tracks the *active* trees and streams rather than the whole
+/// arrival sequence. `config.buffer_bound` is honored; `config.engine` is
+/// ignored (this *is* the event engine).
 ///
 /// Returns the whole-run aggregates; fails at the first violating
 /// *part-deadline*. That is the same first error [`super::simulate_with`]
-/// reports whenever arrival times are nondecreasing (the model's canonical
-/// form); on exotic unsorted inputs `simulate_with` additionally replays
-/// the checks in arrival order to keep its error identical to the dense
-/// engine's.
+/// reports whenever arrival times are nondecreasing; on exotic unsorted
+/// inputs (which take an eager, sort-based path) `simulate_with`
+/// additionally replays the checks in arrival order to keep its error
+/// identical to the dense engine's.
 pub fn simulate_streaming<F: FnMut(ClientReport)>(
     forest: &MergeForest,
     times: &[i64],
@@ -119,13 +147,229 @@ pub fn simulate_streaming<F: FnMut(ClientReport)>(
             times: times.len(),
         }));
     }
+    if times.windows(2).all(|w| w[0] <= w[1]) {
+        streaming_lazy(forest, times, media_len, config, &mut emit)
+    } else {
+        streaming_eager(forest, times, media_len, config, &mut emit)
+    }
+}
+
+/// One pulled tree, retained while any of its clients' deadlines are
+/// pending.
+struct RetainedTree {
+    base: usize,
+    specs: Vec<StreamSpec>,
+    remaining: usize,
+}
+
+/// Lazily pulled schedule state for the sorted-arrivals streaming path.
+///
+/// Trees enter at the back when the start cursor (or a part-deadline)
+/// reaches them and leave at the front when fully served; with sorted
+/// times, starts are nondecreasing in global index order, so the cursor
+/// `(cur_tree, cur_local)` never has to look behind the back tree.
+struct LazySchedule<'a> {
+    trees: ScheduleStream<'a>,
+    retained: VecDeque<RetainedTree>,
+    /// Trees already dropped from the front of `retained`.
+    popped: usize,
+    /// Global arrival index one past the last pulled tree.
+    covered: usize,
+    /// Start cursor: next spec to start, as (tree index, local index).
+    cur_tree: usize,
+    cur_local: usize,
+    total_units: i64,
+}
+
+impl<'a> LazySchedule<'a> {
+    fn new(trees: ScheduleStream<'a>) -> Self {
+        Self {
+            trees,
+            retained: VecDeque::new(),
+            popped: 0,
+            covered: 0,
+            cur_tree: 0,
+            cur_local: 0,
+            total_units: 0,
+        }
+    }
+
+    fn pulled(&self) -> usize {
+        self.popped + self.retained.len()
+    }
+
+    /// Pulls one more tree into retention; `false` when the forest is
+    /// exhausted.
+    fn pull(&mut self) -> bool {
+        let Some(t) = self.trees.next() else {
+            return false;
+        };
+        self.total_units += t.total_units();
+        self.covered = t.base + t.specs.len();
+        self.retained.push_back(RetainedTree {
+            base: t.base,
+            remaining: t.specs.len(),
+            specs: t.specs,
+        });
+        true
+    }
+
+    /// Advances the start cursor to the next positive-length stream and
+    /// returns its `(start, end)`, pulling trees as the cursor reaches
+    /// them.
+    fn peek_start(&mut self) -> Option<(i64, i64)> {
+        loop {
+            if self.cur_tree >= self.pulled() {
+                if !self.pull() {
+                    return None;
+                }
+                continue;
+            }
+            let t = &self.retained[self.cur_tree - self.popped];
+            match t.specs.get(self.cur_local) {
+                None => {
+                    self.cur_tree += 1;
+                    self.cur_local = 0;
+                }
+                Some(s) if s.length == 0 => self.cur_local += 1,
+                Some(s) => return Some((s.start, s.end())),
+            }
+        }
+    }
+
+    /// Consumes the spec the last `peek_start` returned.
+    fn take_start(&mut self) {
+        self.cur_local += 1;
+    }
+
+    /// Guarantees the tree serving global arrival `g` has been pulled
+    /// (needed only when a part-deadline fires before any stream of its
+    /// tree starts, e.g. `media_len = 0`).
+    fn ensure_pulled(&mut self, g: usize) {
+        while self.covered <= g && self.pull() {}
+    }
+
+    /// Records that one client of tree `ti` was served; fully-served trees
+    /// are dropped from the front.
+    fn release(&mut self, ti: usize) {
+        self.retained[ti - self.popped].remaining -= 1;
+        while let Some(front) = self.retained.front() {
+            if front.remaining > 0 {
+                break;
+            }
+            // The cursor can never lag behind a fully-served tree: every
+            // start of the tree precedes its last part-deadline.
+            debug_assert!(self.cur_tree > self.popped || self.cur_local >= front.specs.len());
+            if self.cur_tree == self.popped {
+                self.cur_tree += 1;
+                self.cur_local = 0;
+            }
+            self.retained.pop_front();
+            self.popped += 1;
+        }
+    }
+}
+
+/// The lazy streaming path for nondecreasing arrival times: starts and
+/// deadlines are plain cursors (both orders coincide with global index
+/// order), the schedule is pulled and dropped tree-by-tree.
+fn streaming_lazy<F: FnMut(ClientReport)>(
+    forest: &MergeForest,
+    times: &[i64],
+    media_len: u64,
+    config: SimConfig,
+    emit: &mut F,
+) -> Result<StreamingSummary, SimError> {
+    let mut sched = LazySchedule::new(ScheduleStream::new(forest, times, media_len)?);
+    let media = media_len as i64; // validated by ScheduleStream::new
+
+    let mut ends: BinaryHeap<Reverse<i64>> = BinaryHeap::new();
+    let mut active: u32 = 0;
+    let mut profile = ProfileBuilder::new();
+    let mut ci = 0usize; // deadline cursor: next client (deadlines sorted)
+    let mut scratch = EvalScratch::default();
+
+    loop {
+        // Next event instant over the three sources.
+        let mut next: Option<i64> = ends.peek().map(|&Reverse(t)| t);
+        if let Some((start, _)) = sched.peek_start() {
+            next = Some(next.map_or(start, |t| t.min(start)));
+        }
+        if let Some(&t_c) = times.get(ci) {
+            let d = t_c + media;
+            next = Some(next.map_or(d, |t| t.min(d)));
+        }
+        let Some(now) = next else { break };
+
+        // Stream ends, then starts: the net count change at `now` is what
+        // the sparse profile records (a back-to-back handoff is no change).
+        let mut bandwidth_event = false;
+        while ends.peek().is_some_and(|&Reverse(t)| t == now) {
+            ends.pop();
+            active -= 1;
+            bandwidth_event = true;
+        }
+        while let Some((start, end)) = sched.peek_start() {
+            if start != now {
+                break;
+            }
+            ends.push(Reverse(end));
+            active += 1;
+            sched.take_start();
+            bandwidth_event = true;
+        }
+        if bandwidth_event {
+            profile.record(now, active);
+        }
+
+        // Client part-deadlines: the client's last part has played, so its
+        // whole program is checkable; verify, emit, release the tree.
+        while times.get(ci).is_some_and(|&t_c| t_c + media == now) {
+            sched.ensure_pulled(ci);
+            let (ti, local) = forest.locate(ci);
+            let rt = &sched.retained[ti - sched.popped];
+            let tree = &forest.trees()[ti];
+            let local_times = &times[rt.base..rt.base + rt.specs.len()];
+            emit(eval_client(
+                tree,
+                local_times,
+                &rt.specs,
+                media_len,
+                rt.base,
+                local,
+                config,
+                &mut scratch,
+            )?);
+            sched.release(ti);
+            ci += 1;
+        }
+    }
+
+    // Every tree serves at least one client, so by the last part-deadline
+    // every tree has been pulled; drain defensively anyway so
+    // `total_units` is complete on degenerate inputs.
+    while sched.pull() {}
+
+    Ok(StreamingSummary {
+        bandwidth: profile.finish(),
+        total_units: sched.total_units,
+        clients: times.len(),
+    })
+}
+
+/// The eager fallback for exotic inputs with globally unsorted arrival
+/// times: materialize the whole schedule and sort the event sources.
+fn streaming_eager<F: FnMut(ClientReport)>(
+    forest: &MergeForest,
+    times: &[i64],
+    media_len: u64,
+    config: SimConfig,
+    emit: &mut F,
+) -> Result<StreamingSummary, SimError> {
     let specs = stream_schedule(forest, times, media_len)?;
     let media = media_len as i64; // validated by stream_schedule
     let total_units: i64 = specs.iter().map(|s| s.length).sum();
 
-    // Sorted event sources. Arrival times are nondecreasing in every real
-    // workload (trees tile arrivals left to right), making these sorts
-    // near-free; they also make the engine robust to exotic inputs.
     let mut starts: Vec<usize> = (0..specs.len()).filter(|&i| specs[i].length > 0).collect();
     starts.sort_by_key(|&i| specs[i].start);
     let mut deadlines: Vec<usize> = (0..times.len()).collect();
@@ -136,6 +380,7 @@ pub fn simulate_streaming<F: FnMut(ClientReport)>(
     let mut profile = ProfileBuilder::new();
     let mut si = 0usize; // cursor into `starts`
     let mut ci = 0usize; // cursor into `deadlines`
+    let mut scratch = EvalScratch::default();
 
     loop {
         // Next event instant over the three sources.
@@ -172,7 +417,21 @@ pub fn simulate_streaming<F: FnMut(ClientReport)>(
         while deadlines.get(ci).is_some_and(|&c| times[c] + media == now) {
             let c = deadlines[ci];
             ci += 1;
-            emit(eval_client(forest, times, &specs, media_len, c, config)?);
+            let (ti, local) = forest.locate(c);
+            let tree = &forest.trees()[ti];
+            let base = forest.tree_start(ti);
+            let local_times = &times[base..base + tree.len()];
+            let local_specs = &specs[base..base + tree.len()];
+            emit(eval_client(
+                tree,
+                local_times,
+                local_specs,
+                media_len,
+                base,
+                local,
+                config,
+                &mut scratch,
+            )?);
         }
     }
 
@@ -183,33 +442,182 @@ pub fn simulate_streaming<F: FnMut(ClientReport)>(
     })
 }
 
-/// Checks one client's program against the schedule and measures it, in
-/// `O(segments²)` arithmetic — no per-slot state.
+/// Reusable per-client evaluation buffers: one allocation set for a whole
+/// run instead of one per client (the constant factor that used to keep
+/// deep-chain programs far slower than balanced ones).
+struct EvalScratch {
+    /// Receiving program, rebuilt in place per client.
+    prog: ReceivingProgram,
+    /// Inclusive receive-slot interval of each non-empty segment.
+    intervals: Vec<(i64, i64)>,
+    /// Interval start slots, sorted ascending.
+    starts: Vec<i64>,
+    /// `(hi + 1, lo)` exclusive-end pairs, sorted ascending.
+    ends: Vec<(i64, i64)>,
+}
+
+impl Default for EvalScratch {
+    fn default() -> Self {
+        Self {
+            prog: ReceivingProgram {
+                client: 0,
+                path: Vec::new(),
+                segments: Vec::new(),
+            },
+            intervals: Vec::new(),
+            starts: Vec::new(),
+            ends: Vec::new(),
+        }
+    }
+}
+
+impl EvalScratch {
+    /// Loads the sorted endpoint views of `intervals` (which are in
+    /// part order — nearly sorted already, so the sorts are near-linear).
+    fn load_endpoints(&mut self) {
+        self.starts.clear();
+        self.starts.extend(self.intervals.iter().map(|&(lo, _)| lo));
+        self.starts.sort_unstable();
+        self.ends.clear();
+        self.ends
+            .extend(self.intervals.iter().map(|&(lo, hi)| (hi + 1, lo)));
+        self.ends.sort_unstable();
+    }
+}
+
+/// Receive-two compliance over the sorted endpoints: one merged walk over
+/// interval starts and ends reproduces exactly the change-points (and the
+/// first violating slot) of the sparse reception profile the dense scan is
+/// pinned against.
+fn receive_two_sweep(scratch: &EvalScratch, global: usize) -> Result<usize, SimError> {
+    let (starts, ends) = (&scratch.starts, &scratch.ends);
+    let (mut si, mut ei) = (0usize, 0usize);
+    let mut count = 0i64;
+    let mut max_concurrent = 0usize;
+    while si < starts.len() || ei < ends.len() {
+        let slot = match (starts.get(si), ends.get(ei)) {
+            (Some(&s), Some(&(e, _))) => s.min(e),
+            (Some(&s), None) => s,
+            (None, Some(&(e, _))) => e,
+            (None, None) => unreachable!("loop condition"),
+        };
+        let before = count;
+        while ei < ends.len() && ends[ei].0 == slot {
+            count -= 1;
+            ei += 1;
+        }
+        while si < starts.len() && starts[si] == slot {
+            count += 1;
+            si += 1;
+        }
+        if count != before {
+            if count > 2 {
+                return Err(SimError::ReceiveTwoViolation {
+                    client: global,
+                    slot,
+                    count: count as usize,
+                });
+            }
+            max_concurrent = max_concurrent.max(count as usize);
+        }
+    }
+    Ok(max_concurrent)
+}
+
+/// Maximum of `received(τ) − played(τ)` over the playback window
+/// `[t_c, t_c + L]` in one merged sweep over the sorted interval endpoints.
+///
+/// `received(τ) = Σ clamp(τ − lo, 0, hi − lo + 1)` is piecewise linear with
+/// kinks only at `lo` and `hi + 1`, so its maximum over the window is
+/// attained at one of the clamped kinks or the window bounds — exactly the
+/// candidate set the former quadratic evaluator probed, now each evaluated
+/// in O(1) from a running `(open streams, Σ open starts, finished parts)`
+/// prefix instead of an O(segments) re-sum. Candidates are generated by
+/// merging the two sorted endpoint arrays on the fly (clamping is
+/// monotone), so no candidate buffer is materialized or sorted.
+fn max_buffer_sweep(scratch: &EvalScratch, t_c: i64, media: i64) -> i64 {
+    let window_end = t_c + media;
+    let (starts, ends) = (&scratch.starts, &scratch.ends);
+
+    let (mut si, mut ei) = (0usize, 0usize); // prefix state over raw slots
+    let mut open_count = 0i64; // segments with lo < τ ≤ hi + 1
+    let mut open_lo_sum = 0i64;
+    let mut done_parts = 0i64; // full lengths of segments with hi + 1 ≤ τ
+    let mut max_buffer = 0i64;
+
+    let (mut cs, mut ce) = (0usize, 0usize); // candidate-generation cursors
+    let mut before_window = true; // τ = t_c not yet evaluated
+    let mut after_window = false; // τ = window_end evaluated
+    loop {
+        let tau = if before_window {
+            before_window = false;
+            t_c
+        } else {
+            match (starts.get(cs), ends.get(ce)) {
+                (Some(&lo), Some(&(end, _))) if lo <= end => {
+                    cs += 1;
+                    lo.clamp(t_c, window_end)
+                }
+                (Some(&lo), None) => {
+                    cs += 1;
+                    lo.clamp(t_c, window_end)
+                }
+                (_, Some(&(end, _))) => {
+                    ce += 1;
+                    end.clamp(t_c, window_end)
+                }
+                (None, None) if !after_window => {
+                    after_window = true;
+                    window_end
+                }
+                (None, None) => break,
+            }
+        };
+        while si < starts.len() && starts[si] < tau {
+            open_count += 1;
+            open_lo_sum += starts[si];
+            si += 1;
+        }
+        while ei < ends.len() && ends[ei].0 <= tau {
+            open_count -= 1;
+            open_lo_sum -= ends[ei].1;
+            done_parts += ends[ei].0 - ends[ei].1;
+            ei += 1;
+        }
+        let received = open_count * tau - open_lo_sum + done_parts;
+        max_buffer = max_buffer.max(received - (tau - t_c).clamp(0, media));
+    }
+    max_buffer
+}
+
+/// Checks one client's program against its tree's schedule and measures it,
+/// in `O(segments log segments)` arithmetic — no per-slot state.
+#[allow(clippy::too_many_arguments)] // tree-local slices + scratch, all hot
 fn eval_client(
-    forest: &MergeForest,
-    times: &[i64],
-    specs: &[StreamSpec],
+    tree: &MergeTree,
+    local_times: &[i64],
+    local_specs: &[StreamSpec],
     media_len: u64,
-    global: usize,
+    base: usize,
+    local: usize,
     config: SimConfig,
+    scratch: &mut EvalScratch,
 ) -> Result<ClientReport, SimError> {
     let media = media_len as i64;
-    let (ti, local) = forest.locate(global);
-    let tree = &forest.trees()[ti];
-    let base = forest.tree_start(ti);
-    let local_times = &times[base..base + tree.len()];
-    let local_specs = &specs[base..base + tree.len()];
     let t_c = local_times[local];
+    let global = base + local;
 
-    let prog = ReceivingProgram::build(tree, local_times, media_len, local);
-    prog.verify(local_times, media_len)
+    scratch.prog.rebuild(tree, local_times, media_len, local);
+    scratch
+        .prog
+        .verify(local_times, media_len)
         .map_err(SimError::Model)?;
 
-    // Per-segment closed forms. `intervals` collects the inclusive
+    // Per-segment closed forms. `scratch.intervals` collects the inclusive
     // receive-slot interval of each non-empty segment.
     let mut min_slack = i64::MAX;
-    let mut intervals: Vec<(i64, i64)> = Vec::with_capacity(prog.segments.len());
-    for seg in &prog.segments {
+    scratch.intervals.clear();
+    for seg in &scratch.prog.segments {
         if seg.is_empty() {
             continue;
         }
@@ -244,51 +652,24 @@ fn eval_client(
         // Part q arrives at the end of slot t_j + q − 1 and plays in slot
         // t_c + q − 1: slack is t_c − t_j for every part of the segment.
         min_slack = min_slack.min(t_c - spec.start);
-        intervals.push((
+        scratch.intervals.push((
             spec.start + seg.first_part - 1,
             spec.start + seg.last_part - 1,
         ));
     }
+    scratch.load_endpoints();
 
     // Receive-two: segment intervals may overlap at most pairwise. The
-    // client's reception is itself a tiny bandwidth profile (one unit per
-    // segment); coverage only changes at change-points, so the first
-    // change-point above 2 is exactly the slot the dense scan reports.
-    let reception =
-        BandwidthProfile::from_intervals(intervals.iter().map(|&(lo, hi)| (lo, hi + 1)));
-    let mut max_concurrent = 0usize;
-    for &(slot, count) in reception.change_points() {
-        if count > 2 {
-            return Err(SimError::ReceiveTwoViolation {
-                client: global,
-                slot,
-                count: count as usize,
-            });
-        }
-        max_concurrent = max_concurrent.max(count as usize);
-    }
+    // client's reception coverage only changes at interval endpoints, so
+    // the first endpoint whose net coverage exceeds 2 is exactly the slot
+    // the dense scan reports.
+    let max_concurrent = receive_two_sweep(scratch, global)?;
 
-    // Buffer occupancy: received(τ) − played(τ) is piecewise linear with
-    // breakpoints only at interval endpoints (and the playback window
-    // bounds), so its maximum over [t_c, t_c + L] is attained at one of
-    // these candidates.
-    // A part received in slot τ′ is *in hand* from τ′ + 1 on, so a segment
-    // over receive slots [lo, hi] has contributed clamp(τ − lo, 0, hi−lo+1)
-    // parts by instant τ — kinks at τ = lo and τ = hi + 1.
-    let occupancy = |tau: i64| -> i64 {
-        let received: i64 = intervals
-            .iter()
-            .map(|&(lo, hi)| (tau - lo).clamp(0, hi - lo + 1))
-            .sum();
-        received - (tau - t_c).clamp(0, media)
-    };
-    let mut max_buffer = 0i64;
-    let clamp_window = |tau: i64| tau.clamp(t_c, t_c + media);
-    for &(lo, hi) in &intervals {
-        max_buffer = max_buffer.max(occupancy(clamp_window(lo)));
-        max_buffer = max_buffer.max(occupancy(clamp_window(hi + 1)));
-    }
-    max_buffer = max_buffer.max(occupancy(t_c)).max(occupancy(t_c + media));
+    // Buffer occupancy: received(τ) − played(τ), maximized over the
+    // playback window by the endpoint sweep. A part received in slot τ′ is
+    // *in hand* from τ′ + 1 on, so a segment over receive slots [lo, hi]
+    // has contributed clamp(τ − lo, 0, hi − lo + 1) parts by instant τ.
+    let max_buffer = max_buffer_sweep(scratch, t_c, media);
 
     if let Some(bound) = config.buffer_bound {
         if max_buffer > bound as i64 {
@@ -305,4 +686,157 @@ fn eval_client(
         max_concurrent,
         min_slack,
     })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sm_core::consecutive_slots;
+
+    /// Quadratic reference for the endpoint sweep: evaluate occupancy at
+    /// every candidate by re-summing all segments.
+    fn max_buffer_quadratic(intervals: &[(i64, i64)], t_c: i64, media: i64) -> i64 {
+        let occupancy = |tau: i64| -> i64 {
+            let received: i64 = intervals
+                .iter()
+                .map(|&(lo, hi)| (tau - lo).clamp(0, hi - lo + 1))
+                .sum();
+            received - (tau - t_c).clamp(0, media)
+        };
+        let clamp_window = |tau: i64| tau.clamp(t_c, t_c + media);
+        let mut max_buffer = 0i64;
+        for &(lo, hi) in intervals {
+            max_buffer = max_buffer.max(occupancy(clamp_window(lo)));
+            max_buffer = max_buffer.max(occupancy(clamp_window(hi + 1)));
+        }
+        max_buffer.max(occupancy(t_c)).max(occupancy(t_c + media))
+    }
+
+    fn sweep_with(intervals: &[(i64, i64)], t_c: i64, media: i64) -> i64 {
+        let mut scratch = EvalScratch::default();
+        scratch.intervals.extend_from_slice(intervals);
+        scratch.load_endpoints();
+        max_buffer_sweep(&scratch, t_c, media)
+    }
+
+    #[test]
+    fn sweep_matches_quadratic_reference() {
+        // Deterministic pseudo-random interval sets, including overlapping,
+        // nested, touching, and out-of-window segments.
+        let mut state = 0x243F_6A88_85A3_08D3u64;
+        let mut next = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            state
+        };
+        for case in 0..500 {
+            let t_c = (next() % 50) as i64 - 25;
+            let media = (next() % 40) as i64;
+            let n = (case % 7) as usize;
+            let intervals: Vec<(i64, i64)> = (0..n)
+                .map(|_| {
+                    let lo = t_c - 10 + (next() % 40) as i64;
+                    let len = (next() % 12) as i64;
+                    (lo, lo + len)
+                })
+                .collect();
+            assert_eq!(
+                sweep_with(&intervals, t_c, media),
+                max_buffer_quadratic(&intervals, t_c, media),
+                "case {case}: t_c={t_c} media={media} intervals={intervals:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn receive_two_sweep_matches_sparse_profile() {
+        // Same randomized interval sets: the merged endpoint walk must see
+        // exactly the change-points (and max) of the sparse profile.
+        let mut state = 0x1319_8A2E_0370_7344u64;
+        let mut next = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            state
+        };
+        for case in 0..500 {
+            let n = (case % 6) as usize;
+            let intervals: Vec<(i64, i64)> = (0..n)
+                .map(|_| {
+                    let lo = (next() % 30) as i64;
+                    (lo, lo + (next() % 10) as i64)
+                })
+                .collect();
+            let mut scratch = EvalScratch::default();
+            scratch.intervals.extend_from_slice(&intervals);
+            scratch.load_endpoints();
+            let swept = receive_two_sweep(&scratch, 7);
+            let profile =
+                BandwidthProfile::from_intervals(intervals.iter().map(|&(lo, hi)| (lo, hi + 1)));
+            let reference = profile
+                .change_points()
+                .iter()
+                .find(|&&(_, count)| count > 2)
+                .map(|&(slot, count)| SimError::ReceiveTwoViolation {
+                    client: 7,
+                    slot,
+                    count: count as usize,
+                });
+            match reference {
+                Some(err) => assert_eq!(swept.unwrap_err(), err, "case {case}"),
+                None => assert_eq!(swept.unwrap() as u32, profile.peak(), "case {case}"),
+            }
+        }
+    }
+
+    #[test]
+    fn sweep_on_no_intervals_is_zero() {
+        assert_eq!(sweep_with(&[], 5, 10), 0);
+        assert_eq!(sweep_with(&[], 0, 0), 0);
+    }
+
+    #[test]
+    fn lazy_streaming_retains_only_open_trees() {
+        // Singleton trees at widely spaced times: while tree k plays, trees
+        // k+2.. have not been pulled and trees ..k−1 have been dropped, so
+        // retention stays at the one-open-tree + one-lookahead bound.
+        let n = 64usize;
+        let media = 5u64;
+        let trees = vec![MergeTree::singleton(); n];
+        let forest = MergeForest::from_trees(trees).unwrap();
+        let times: Vec<i64> = (0..n as i64).map(|i| i * 100).collect();
+        let mut served = 0usize;
+        let summary = simulate_streaming(&forest, &times, media, SimConfig::events(), |r| {
+            assert_eq!(r.client, served, "deadline order is arrival order");
+            served += 1;
+        })
+        .unwrap();
+        assert_eq!(served, n);
+        assert_eq!(summary.total_units, n as i64 * media as i64);
+        assert_eq!(summary.bandwidth.peak(), 1);
+    }
+
+    #[test]
+    fn deep_chain_tree_streams_cleanly() {
+        // One maximal-depth feasible chain: L ≥ 2(c − 1) with consecutive
+        // arrivals. Exercises the sweep on many-segment programs.
+        let media = 60u64;
+        let c = (media / 2 + 1) as usize;
+        let forest = MergeForest::single(MergeTree::chain(c));
+        let times = consecutive_slots(c);
+        let mut reports = Vec::new();
+        let summary = simulate_streaming(&forest, &times, media, SimConfig::events(), |r| {
+            reports.push(r)
+        })
+        .unwrap();
+        assert_eq!(reports.len(), c);
+        assert_eq!(
+            summary.total_units,
+            sm_core::full_cost(&forest, &times, media)
+        );
+        for r in &reports {
+            assert!(r.max_concurrent <= 2);
+        }
+    }
 }

@@ -8,11 +8,13 @@
 //! * [`dense`] — the original slot-stepped oracle: every client is swept
 //!   over every slot of its playback window (`O(clients · L²)` time,
 //!   `O(L)` scratch per client). Simple, and kept as the reference.
-//! * [`events`] — the discrete-event engine: a binary-heap event queue over
-//!   stream starts/ends and per-client part-deadlines, sparse bandwidth
-//!   change-points, and per-client metrics derived in closed form from the
-//!   program's segments. `O((clients + streams) log)` time, memory
-//!   proportional to the *active* streams — the production path.
+//! * [`events`] — the discrete-event engine: the schedule is pulled lazily
+//!   tree-by-tree (a [`crate::ScheduleStream`]) and dropped as trees finish,
+//!   stream ends live in a binary min-heap, and per-client metrics are
+//!   derived from the program's segments by a single sorted-endpoint sweep —
+//!   `O(segments log segments)` per client (never candidates × segments),
+//!   memory proportional to the *active* trees and streams — the
+//!   production path.
 //!
 //! Both produce bit-identical [`SimReport`]s (pinned by the
 //! `engine_equivalence` proptest suite); [`SimConfig::engine`] selects one.

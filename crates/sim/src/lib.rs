@@ -35,4 +35,4 @@ pub use engine::{
 };
 pub use error::SimError;
 pub use metrics::BandwidthProfile;
-pub use schedule::{stream_schedule, StreamSpec};
+pub use schedule::{stream_schedule, ScheduleStream, StreamSpec, TreeSchedule};

@@ -29,8 +29,118 @@ impl StreamSpec {
     }
 }
 
+/// The concrete schedule of one tree of a forest: `specs[x]` is the stream
+/// of local node `x`, so slicing `times`/reports by `base..base + len` stays
+/// aligned with the tree the specs came from.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TreeSchedule {
+    /// Index of the tree within the forest.
+    pub tree: usize,
+    /// Global arrival index of the tree's first node.
+    pub base: usize,
+    /// The tree's streams, in local node order.
+    pub specs: Vec<StreamSpec>,
+}
+
+impl TreeSchedule {
+    /// Number of arrivals (and streams) in the tree.
+    pub fn len(&self) -> usize {
+        self.specs.len()
+    }
+
+    /// A tree always has at least one arrival.
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// Total slot-units this tree transmits (its share of `Fcost`).
+    pub fn total_units(&self) -> i64 {
+        self.specs.iter().map(|s| s.length).sum()
+    }
+}
+
+/// Lazy, per-tree view of a forest's broadcast schedule.
+///
+/// Yields one [`TreeSchedule`] per tree, in forest order, deriving each
+/// tree's Lemma-1 stream lengths only when the tree is pulled — the whole
+/// forest is never materialized at once, so a consumer that drops trees as
+/// it finishes with them (the event engine's streaming path) holds
+/// `O(active trees)` schedule memory instead of `O(arrivals)`.
+///
+/// Construction fails with [`SimError::MediaLenOverflow`] when `media_len`
+/// does not fit the signed slot arithmetic; iteration itself is infallible.
+#[derive(Debug)]
+pub struct ScheduleStream<'a> {
+    forest: &'a MergeForest,
+    times: &'a [i64],
+    media: i64,
+    next_tree: usize,
+    base: usize,
+}
+
+impl<'a> ScheduleStream<'a> {
+    /// Opens the schedule of `forest` over `times` for a media of
+    /// `media_len` parts.
+    ///
+    /// # Panics
+    /// Iteration panics if `times` is shorter than the forest's arrivals
+    /// (callers validate lengths up front, as [`stream_schedule`] always
+    /// has).
+    pub fn new(
+        forest: &'a MergeForest,
+        times: &'a [i64],
+        media_len: u64,
+    ) -> Result<Self, SimError> {
+        let media = checked_media_len(media_len)?;
+        Ok(Self {
+            forest,
+            times,
+            media,
+            next_tree: 0,
+            base: 0,
+        })
+    }
+
+    /// Number of trees not yet yielded.
+    pub fn remaining_trees(&self) -> usize {
+        self.forest.num_trees() - self.next_tree
+    }
+}
+
+impl Iterator for ScheduleStream<'_> {
+    type Item = TreeSchedule;
+
+    fn next(&mut self) -> Option<TreeSchedule> {
+        let tree = self.forest.trees().get(self.next_tree)?;
+        let base = self.base;
+        let local_times = &self.times[base..base + tree.len()];
+        let lens = cost::lengths(tree, local_times);
+        let specs = (0..tree.len())
+            .map(|x| StreamSpec {
+                node: base + x,
+                start: local_times[x],
+                length: if x == 0 { self.media } else { lens[x] },
+            })
+            .collect();
+        let out = TreeSchedule {
+            tree: self.next_tree,
+            base,
+            specs,
+        };
+        self.next_tree += 1;
+        self.base += tree.len();
+        Some(out)
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        let n = self.remaining_trees();
+        (n, Some(n))
+    }
+}
+
 /// Derives the full broadcast schedule of a forest: the root of each tree
 /// runs `media_len` parts, every other stream exactly its Lemma-1 length.
+/// Eager form of [`ScheduleStream`] — one flat `Vec` over all trees.
 ///
 /// Fails with [`SimError::MediaLenOverflow`] when `media_len` does not fit
 /// the signed slot arithmetic (a plain `as i64` here would silently wrap to
@@ -40,20 +150,9 @@ pub fn stream_schedule(
     times: &[i64],
     media_len: u64,
 ) -> Result<Vec<StreamSpec>, SimError> {
-    let media = checked_media_len(media_len)?;
     let mut specs = Vec::with_capacity(times.len());
-    for (range, tree) in forest.iter_with_ranges() {
-        let base = range.start;
-        let local_times = &times[range];
-        let lens = cost::lengths(tree, local_times);
-        for x in 0..tree.len() {
-            let length = if x == 0 { media } else { lens[x] };
-            specs.push(StreamSpec {
-                node: base + x,
-                start: local_times[x],
-                length,
-            });
-        }
+    for tree in ScheduleStream::new(forest, times, media_len)? {
+        specs.extend(tree.specs);
     }
     Ok(specs)
 }
@@ -119,6 +218,51 @@ mod tests {
         let specs = stream_schedule(&forest, &times, 15).unwrap();
         let total: i64 = specs.iter().map(|s| s.length).sum();
         assert_eq!(total, sm_core::full_cost(&forest, &times, 15));
+    }
+
+    #[test]
+    fn schedule_stream_yields_one_tree_at_a_time() {
+        let t = MergeTree::from_parents(&[None, Some(0), Some(0)]).unwrap();
+        let forest = MergeForest::from_trees(vec![t.clone(), t]).unwrap();
+        let times = consecutive_slots(6);
+        let mut stream = ScheduleStream::new(&forest, &times, 10).unwrap();
+        assert_eq!(stream.remaining_trees(), 2);
+        let first = stream.next().unwrap();
+        assert_eq!((first.tree, first.base, first.len()), (0, 0, 3));
+        assert_eq!(stream.remaining_trees(), 1);
+        let second = stream.next().unwrap();
+        assert_eq!((second.tree, second.base, second.len()), (1, 3, 3));
+        assert!(stream.next().is_none());
+        // Per-tree units sum to the flat schedule's total.
+        assert_eq!(
+            first.total_units() + second.total_units(),
+            stream_schedule(&forest, &times, 10)
+                .unwrap()
+                .iter()
+                .map(|s| s.length)
+                .sum::<i64>()
+        );
+    }
+
+    #[test]
+    fn schedule_stream_concatenation_matches_eager_schedule() {
+        let forest = fig4_forest();
+        let times = consecutive_slots(8);
+        let lazy: Vec<StreamSpec> = ScheduleStream::new(&forest, &times, 15)
+            .unwrap()
+            .flat_map(|t| t.specs)
+            .collect();
+        assert_eq!(lazy, stream_schedule(&forest, &times, 15).unwrap());
+    }
+
+    #[test]
+    fn schedule_stream_rejects_oversized_media_len() {
+        let forest = fig4_forest();
+        let times = consecutive_slots(8);
+        assert!(matches!(
+            ScheduleStream::new(&forest, &times, u64::MAX).unwrap_err(),
+            SimError::MediaLenOverflow { .. }
+        ));
     }
 
     #[test]

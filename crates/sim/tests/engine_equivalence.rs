@@ -2,11 +2,14 @@
 //! slot-stepped engine *bit for bit* — same totals, same bandwidth
 //! change-points, same per-client `max_buffer`/`max_concurrent`/`min_slack`,
 //! and the same first error on infeasible inputs — across randomized
-//! forests, arrival sequences, media lengths, and buffer bounds.
+//! forests, arrival sequences, media lengths, and buffer bounds. The
+//! streaming API (`simulate_streaming`, which pulls the schedule lazily
+//! tree-by-tree for sorted arrivals) is pinned against the collected
+//! `simulate_with` path on every case as well.
 
 use proptest::prelude::*;
 use sm_core::{consecutive_slots, MergeForest, MergeTree};
-use sm_sim::{simulate_with, SimConfig, SimReport};
+use sm_sim::{simulate_streaming, simulate_with, ClientReport, SimConfig, SimError, SimReport};
 
 fn run_both(
     forest: &MergeForest,
@@ -38,6 +41,71 @@ fn run_both(
     (dense, events)
 }
 
+/// Runs the streaming API, collecting emitted reports in emission order.
+fn run_streaming(
+    forest: &MergeForest,
+    times: &[i64],
+    media_len: u64,
+    buffer_bound: Option<u64>,
+) -> (
+    Result<sm_sim::StreamingSummary, SimError>,
+    Vec<ClientReport>,
+) {
+    let mut emitted = Vec::new();
+    let summary = simulate_streaming(
+        forest,
+        times,
+        media_len,
+        SimConfig {
+            buffer_bound,
+            ..SimConfig::events()
+        },
+        |r| emitted.push(r),
+    );
+    (summary, emitted)
+}
+
+/// The lazy streaming path must agree with the collected event-engine
+/// report: same bandwidth change-points, same totals, same per-client
+/// measurements, and the same first error — with emissions arriving in
+/// part-deadline order.
+fn assert_streaming_matches(
+    forest: &MergeForest,
+    times: &[i64],
+    media_len: u64,
+    buffer_bound: Option<u64>,
+    events: &Result<SimReport, SimError>,
+) {
+    let (summary, mut emitted) = run_streaming(forest, times, media_len, buffer_bound);
+    match (events, summary) {
+        (Ok(report), Ok(summary)) => {
+            assert_eq!(summary.bandwidth, report.bandwidth);
+            assert_eq!(summary.total_units, report.total_units);
+            assert_eq!(summary.clients, report.clients.len());
+            // Emission order is part-deadline order (`t_c + L`, ties by
+            // arrival index); for sorted times that is arrival order.
+            let deadlines_sorted = times.windows(2).all(|w| w[0] <= w[1]);
+            if deadlines_sorted {
+                assert_eq!(emitted, report.clients, "emission order = arrival order");
+            } else {
+                emitted.sort_unstable_by_key(|r| r.client);
+                assert_eq!(emitted, report.clients);
+            }
+        }
+        (Err(report_err), Err(stream_err)) => {
+            // `simulate_with` normalizes the first error to arrival-index
+            // order; the raw stream fails at the first part-*deadline*
+            // violation. For sorted times the two coincide.
+            if times.windows(2).all(|w| w[0] <= w[1]) {
+                assert_eq!(*report_err, stream_err);
+            }
+        }
+        (report, summary) => {
+            panic!("streaming/collected feasibility disagreement: {report:?} vs {summary:?}")
+        }
+    }
+}
+
 /// Full bit-for-bit comparison, plus internal-consistency checks on success.
 fn assert_engines_agree(
     forest: &MergeForest,
@@ -47,6 +115,7 @@ fn assert_engines_agree(
 ) {
     let (dense, events) = run_both(forest, times, media_len, buffer_bound);
     assert_eq!(dense, events, "L = {media_len}, n = {}", times.len());
+    assert_streaming_matches(forest, times, media_len, buffer_bound, &events);
     if let Ok(report) = events {
         assert_eq!(report.bandwidth.total_units(), report.total_units);
         // Per-slot bandwidth agreement at every change-point (and just
@@ -120,6 +189,26 @@ proptest! {
     }
 
     #[test]
+    fn deep_chain_forests_agree(
+        media_len in 8u64..64,
+        n in 1usize..120,
+    ) {
+        // The pathological many-segment case the endpoint sweep exists for:
+        // maximal feasible chains (length L/2 + 1) tiled over the arrivals.
+        let chain = (media_len / 2 + 1) as usize;
+        let mut trees = Vec::new();
+        let mut left = n;
+        while left > 0 {
+            let k = left.min(chain);
+            trees.push(MergeTree::chain(k));
+            left -= k;
+        }
+        let forest = MergeForest::from_trees(trees).unwrap();
+        let times = consecutive_slots(n);
+        assert_engines_agree(&forest, &times, media_len, None);
+    }
+
+    #[test]
     fn arbitrary_trees_agree_including_errors(
         seeds in proptest::collection::vec(0u64..1_000_000, 1..12),
         media_len in 1u64..18,
@@ -137,4 +226,18 @@ proptest! {
         let times = consecutive_slots(n);
         assert_engines_agree(&forest, &times, media_len, None);
     }
+}
+
+#[test]
+fn unsorted_times_take_the_eager_fallback_and_still_agree() {
+    // Sibling order need not follow time order; globally unsorted times
+    // route `simulate_streaming` through the eager sort-based path, which
+    // must still reproduce the collected report bit for bit.
+    let tree = MergeTree::from_parents(&[None, Some(0), Some(0)]).unwrap();
+    let forest = MergeForest::single(tree);
+    let times = [0i64, 5, 2];
+    assert!(times.windows(2).any(|w| w[0] > w[1]), "premise: unsorted");
+    let events = simulate_with(&forest, &times, 40, SimConfig::events());
+    assert!(events.is_ok());
+    assert_streaming_matches(&forest, &times, 40, None, &events);
 }

@@ -73,6 +73,26 @@ pub fn flash_crowd() -> Scenario {
     }
 }
 
+/// The deep-chain scenario: one arrival per slot, merged into
+/// maximal-depth feasible chains instead of balanced trees — the
+/// pathological shape for per-client evaluation cost. Pair with
+/// [`crate::deep_chain_forest`] via [`deep_chain_forest_for`]; at `L = 100`
+/// every tree is a 51-deep chain.
+pub fn deep_chain() -> Scenario {
+    Scenario {
+        name: "deep merge chains (depth L/2 + 1)",
+        media_slots: 100,
+        horizon_slots: 100.0 * 100.0,
+        mean_gap_slots: 1.0,
+    }
+}
+
+/// The chain forest and arrival times realizing [`deep_chain`] over `n`
+/// arrivals.
+pub fn deep_chain_forest_for(s: &Scenario, n: usize) -> (sm_core::MergeForest, Vec<i64>) {
+    crate::deep_chain_forest(n, s.media_slots)
+}
+
 /// The seeded [`crate::FlashCrowd`] process matching [`flash_crowd`]: the
 /// spike starts at one media length and lasts half a media length.
 pub fn flash_crowd_process(seed: u64) -> crate::FlashCrowd {
@@ -119,6 +139,14 @@ mod tests {
         let in_spike = ts.iter().filter(|&&t| (100.0..150.0).contains(&t)).count() as f64;
         let steady = ts.iter().filter(|&&t| (500.0..550.0).contains(&t)).count() as f64;
         assert!(in_spike > 5.0 * steady.max(1.0));
+    }
+
+    #[test]
+    fn deep_chain_scenario_realizes_maximal_chains() {
+        let s = deep_chain();
+        let (forest, times) = deep_chain_forest_for(&s, 102);
+        assert_eq!(forest.sizes(), vec![51, 51]);
+        assert_eq!(times.len(), 102);
     }
 
     #[test]

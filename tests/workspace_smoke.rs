@@ -17,7 +17,7 @@ fn every_facade_module_is_reachable() {
     let mut arrivals = stream_merging::workload::ConstantRate::new(1.0);
     assert!(!stream_merging::workload::ArrivalProcess::generate(&mut arrivals, 5.0).is_empty());
     assert!(stream_merging::server::Zipf::new(8, 1.0).pmf(0) > 0.0);
-    let squares = stream_merging::experiments::parallel::parallel_map(&[1u64, 2, 3], |&x| x * x);
+    let squares = stream_merging::core::parallel_map(&[1u64, 2, 3], |&x| x * x);
     assert_eq!(squares, vec![1, 4, 9]);
 }
 
