@@ -28,6 +28,7 @@
 use criterion::{criterion_group, criterion_main, Criterion};
 use sm_core::{consecutive_slots, MergeForest, MergeTree};
 use sm_online::DelayGuaranteedOnline;
+use sm_server::{plan_weighted, simulate_dynamic, simulate_dynamic_sequential, Catalog, Epoch};
 use sm_sim::{simulate_streaming, SimConfig, StreamingSummary};
 use sm_workload::{deep_chain_forest, ArrivalProcess, FlashCrowd};
 use std::hint::black_box;
@@ -66,6 +67,11 @@ fn batched_star_forest(slots: &[i64]) -> (MergeForest, Vec<i64>) {
 /// One measured scale datapoint for `BENCH_scale.json`.
 struct CaseResult {
     name: String,
+    /// Execution spine: `"events"` for the simulator cases, `"pipelined"` /
+    /// `"sequential"` for the dynamic-server cases.
+    engine: &'static str,
+    /// Client arrivals for the simulator cases; *epochs* for the
+    /// dynamic-server cases (see ARCHITECTURE.md for the schema).
     arrivals: usize,
     wall_ms: f64,
     peak_streams: u32,
@@ -92,6 +98,7 @@ fn timed_case(
     (
         CaseResult {
             name: name.into(),
+            engine: "events",
             arrivals: times.len(),
             wall_ms,
             peak_streams: summary.bandwidth.peak(),
@@ -99,6 +106,33 @@ fn timed_case(
         },
         summary,
     )
+}
+
+/// Many-epoch dynamic-server workload: `epoch_count` catalog switches every
+/// `epoch_minutes`, catalogs cycling through five sizes (16–32 titles) so
+/// every switch genuinely re-plans. Returns the epochs, the horizon, and a
+/// squeezed budget (two-thirds of the biggest catalog's all-minimum-delay
+/// demand) that keeps the greedy planner relaxing without going infeasible.
+fn dynamic_workload(epoch_count: usize, epoch_minutes: u64) -> (Vec<Epoch>, u64, u64) {
+    let epochs: Vec<Epoch> = (0..epoch_count)
+        .map(|i| Epoch {
+            start_minute: i as u64 * epoch_minutes,
+            catalog: Catalog::zipf(16 + (i % 5) * 4, 1.0, &[120.0, 90.0, 100.0, 150.0]),
+        })
+        .collect();
+    let horizon = epoch_count as u64 * epoch_minutes;
+    let biggest = epochs
+        .iter()
+        .max_by_key(|e| e.catalog.len())
+        .expect("at least one epoch")
+        .catalog
+        .clone();
+    let budget = plan_weighted(&biggest, u64::MAX, &[1.0])
+        .expect("unconstrained plan always exists")
+        .total_peak
+        * 2
+        / 3;
+    (epochs, horizon, budget)
 }
 
 /// Writes the run's datapoints as one JSON snapshot; hand-rolled (the
@@ -118,10 +152,11 @@ fn write_bench_json(results: &[CaseResult]) {
     out.push_str("  \"cases\": [\n");
     for (i, r) in results.iter().enumerate() {
         out.push_str(&format!(
-            "    {{\"name\": \"{}\", \"arrivals\": {}, \"engine\": \"events\", \
+            "    {{\"name\": \"{}\", \"arrivals\": {}, \"engine\": \"{}\", \
              \"wall_ms\": {:.3}, \"peak_streams\": {}, \"total_units\": {}}}{}\n",
             r.name,
             r.arrivals,
+            r.engine,
             r.wall_ms,
             r.peak_streams,
             r.total_units,
@@ -245,6 +280,59 @@ fn bench_scale(c: &mut Criterion) {
             .expect("batched flash-crowd plan must execute");
             assert_eq!(served, clients);
             black_box(summary.bandwidth.peak())
+        })
+    });
+    // Many-epoch dynamic server: the cross-epoch pipeline (plan k + 1 while
+    // k materializes, incremental minute binning) against the sequential
+    // reference spine on the identical workload. Both runs are checked
+    // bit-identical before either datapoint is recorded.
+    let epoch_count = (n / 20_000).clamp(4, 48);
+    let (epochs, horizon, budget) = dynamic_workload(epoch_count, 600);
+    let candidates = [1.0, 2.0, 4.0, 8.0, 16.0];
+    // Warm caches so neither spine pays the cold-start cost in its timing.
+    let _ = simulate_dynamic(&epochs, budget, &candidates, horizon)
+        .expect("bench epochs must be plannable");
+    let t0 = Instant::now();
+    let seq = simulate_dynamic_sequential(&epochs, budget, &candidates, horizon)
+        .expect("bench epochs must be plannable");
+    let seq_ms = t0.elapsed().as_secs_f64() * 1e3;
+    let t0 = Instant::now();
+    let piped = simulate_dynamic(&epochs, budget, &candidates, horizon)
+        .expect("bench epochs must be plannable");
+    let piped_ms = t0.elapsed().as_secs_f64() * 1e3;
+    assert_eq!(piped.per_minute, seq.per_minute, "spines must agree");
+    assert_eq!(piped.peak, seq.peak, "spines must agree");
+    println!(
+        "bench: scale/server_dynamic pipelined vs sequential: {:.2}x \
+         ({:.1} ms vs {:.1} ms over {} epochs, {} minutes)",
+        piped_ms / seq_ms.max(1e-9),
+        piped_ms,
+        seq_ms,
+        epoch_count,
+        horizon
+    );
+    let dynamic_units = piped.per_minute.iter().sum::<u64>() as i64;
+    results.push(CaseResult {
+        name: format!("server_dynamic_E{epoch_count}"),
+        engine: "sequential",
+        arrivals: epoch_count,
+        wall_ms: seq_ms,
+        peak_streams: seq.peak as u32,
+        total_units: dynamic_units,
+    });
+    results.push(CaseResult {
+        name: format!("server_dynamic_E{epoch_count}"),
+        engine: "pipelined",
+        arrivals: epoch_count,
+        wall_ms: piped_ms,
+        peak_streams: piped.peak as u32,
+        total_units: dynamic_units,
+    });
+    g.bench_function(format!("server_dynamic_pipelined_E{epoch_count}"), |b| {
+        b.iter(|| {
+            let report = simulate_dynamic(black_box(&epochs), budget, &candidates, horizon)
+                .expect("bench epochs must be plannable");
+            black_box(report.peak)
         })
     });
     g.finish();

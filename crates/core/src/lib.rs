@@ -46,7 +46,7 @@ pub use buffer::{buffer_profile, required_buffer};
 pub use cost::{full_cost, lengths, merge_cost, receive_all_lengths, receive_all_merge_cost};
 pub use error::ModelError;
 pub use forest::MergeForest;
-pub use parallel::parallel_map;
+pub use parallel::{parallel_map, pipeline};
 pub use receive_all_program::ReceiveAllProgram;
 pub use receiving::{ReceivingProgram, StageSegment};
 pub use time::{consecutive_slots, TimeScalar};

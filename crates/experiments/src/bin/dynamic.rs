@@ -2,10 +2,14 @@
 //! minute 600 doubles the catalog; the server re-plans per-title delays
 //! under the same 48-stream license, and the stream-exact simulation shows
 //! the steady state never violates it while the transition overlap is
-//! measured explicitly.
+//! measured explicitly. The run goes through
+//! [`sm_experiments::simcheck::crosscheck_dynamic`], so the pipelined
+//! spine is verified bit-identical to the sequential reference before any
+//! number is printed.
 
 use sm_experiments::output::{render_table, results_dir, write_csv};
-use sm_server::{simulate_dynamic, Catalog, Epoch};
+use sm_experiments::simcheck::crosscheck_dynamic;
+use sm_server::{Catalog, Epoch};
 
 fn main() {
     let epochs = [
@@ -21,7 +25,8 @@ fn main() {
     let budget = 48u64;
     let candidates = [1.0, 2.0, 5.0, 10.0, 20.0];
     let horizon = 1440u64;
-    let report = simulate_dynamic(&epochs, budget, &candidates, horizon)
+    let report = crosscheck_dynamic(&epochs, budget, &candidates, horizon)
+        .unwrap_or_else(|e| panic!("pipelined/sequential cross-check failed: {e}"))
         .expect("both epochs must be plannable under the license");
 
     println!("Dynamic re-provisioning — catalog 4 -> 10 titles at minute 600, license {budget} streams\n");
@@ -32,12 +37,17 @@ fn main() {
         "titles",
         "expected_delay",
         "planned_peak",
+        "steady_peak",
+        "transition_peak",
+        "plan_ms",
+        "materialize_ms",
     ];
     let rows: Vec<Vec<String>> = report
         .epoch_plans
         .iter()
+        .zip(&report.per_epoch)
         .enumerate()
-        .map(|(i, ep)| {
+        .map(|(i, (ep, br))| {
             vec![
                 i.to_string(),
                 ep.start_minute.to_string(),
@@ -45,6 +55,10 @@ fn main() {
                 ep.plan.delays_minutes.len().to_string(),
                 format!("{:.2}", ep.plan.expected_delay),
                 ep.plan.total_peak.to_string(),
+                br.steady_peak.to_string(),
+                br.transition_peak.to_string(),
+                format!("{:.2}", br.plan_ms),
+                format!("{:.2}", br.materialize_ms),
             ]
         })
         .collect();

@@ -10,6 +10,9 @@
 use sm_core::consecutive_slots;
 use sm_offline::forest::optimal_forest;
 use sm_online::DelayGuaranteedOnline;
+use sm_server::{
+    simulate_dynamic, simulate_dynamic_sequential, DynamicError, DynamicReport, Epoch,
+};
 use sm_sim::{simulate_with, SimConfig};
 
 /// Executes the optimal off-line forest for `(L, n)` on the event engine
@@ -48,9 +51,38 @@ pub fn crosscheck_online(media_len: u64, n: usize) -> Result<i64, String> {
     Ok(report.total_units)
 }
 
+/// Runs the §5 dynamic re-provisioning scenario through **both** server
+/// spines — the cross-epoch pipelined `simulate_dynamic` and the sequential
+/// reference — and demands bit-identical outcomes (per-minute profile,
+/// peaks, plans, per-epoch breakdown, or the same typed error; the
+/// wall-clock latency fields are exempt, they measure the run itself).
+///
+/// The outer `Result` is the cross-check: `Err(String)` means the spines
+/// diverged. The inner `Result` is the agreed domain outcome — the
+/// pipelined report, or the `DynamicError` both spines returned (an
+/// infeasible budget is a legitimate agreed answer, not a check failure).
+pub fn crosscheck_dynamic(
+    epochs: &[Epoch],
+    budget: u64,
+    candidates_minutes: &[f64],
+    horizon_minutes: u64,
+) -> Result<Result<DynamicReport, DynamicError>, String> {
+    let piped = simulate_dynamic(epochs, budget, candidates_minutes, horizon_minutes);
+    let seq = simulate_dynamic_sequential(epochs, budget, candidates_minutes, horizon_minutes);
+    match (piped, seq) {
+        (Ok(a), Ok(b)) => match a.deterministic_diff(&b) {
+            None => Ok(Ok(a)),
+            Some(diff) => Err(format!("dynamic: {diff}")),
+        },
+        (Err(a), Err(b)) if a == b => Ok(Err(a)),
+        (a, b) => Err(format!("dynamic: spines disagree: {a:?} vs {b:?}")),
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+    use sm_server::Catalog;
 
     #[test]
     fn offline_crosschecks_paper_examples() {
@@ -64,5 +96,43 @@ mod tests {
         for (l, n) in [(7u64, 40usize), (15, 100), (100, 250)] {
             crosscheck_online(l, n).unwrap_or_else(|e| panic!("{e}"));
         }
+    }
+
+    #[test]
+    fn dynamic_crosscheck_passes_on_the_demo_scenario() {
+        let epochs = [
+            Epoch {
+                start_minute: 0,
+                catalog: Catalog::zipf(3, 1.0, &[120.0, 90.0]),
+            },
+            Epoch {
+                start_minute: 400,
+                catalog: Catalog::zipf(6, 1.0, &[120.0, 90.0, 100.0]),
+            },
+        ];
+        let report = crosscheck_dynamic(&epochs, 40, &[1.0, 2.0, 5.0, 10.0], 900)
+            .unwrap_or_else(|e| panic!("{e}"))
+            .expect("scenario is plannable under the budget");
+        assert_eq!(report.epoch_plans.len(), 2);
+        assert!(report.steady_peak <= 40);
+    }
+
+    #[test]
+    fn dynamic_crosscheck_agrees_on_infeasibility() {
+        let epochs = [Epoch {
+            start_minute: 0,
+            catalog: Catalog::zipf(8, 1.0, &[120.0]),
+        }];
+        // Both spines agree the budget is infeasible: the cross-check
+        // passes and surfaces the agreed typed error.
+        let outcome = crosscheck_dynamic(&epochs, 1, &[1.0, 2.0], 200)
+            .expect("agreeing spines are not a check failure");
+        assert_eq!(
+            outcome.unwrap_err(),
+            DynamicError::Infeasible {
+                epoch: 0,
+                start_minute: 0
+            }
+        );
     }
 }

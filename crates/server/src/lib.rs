@@ -32,7 +32,11 @@
 //! steady-state capacity analyses in [`planner`], periodic profiles in
 //! [`admission`], exact stream materialization in [`dynamic`] — is sharded
 //! across threads with [`sm_core::parallel_map`]. Results are collected in
-//! input order, so every report is bit-identical to a sequential run.
+//! input order, so every report is bit-identical to a sequential run. On
+//! top of that sharding, [`dynamic`] pipelines *across* epochs with
+//! [`sm_core::pipeline`]: epoch `k + 1` plans while epoch `k`
+//! materializes, with [`dynamic::simulate_dynamic_sequential`] kept as the
+//! bit-identical reference spine.
 //!
 //! # Example
 //!
@@ -60,6 +64,9 @@ pub mod zipf;
 
 pub use admission::{aggregate_profile, simulate_requests, AggregateReport, RequestReport};
 pub use catalog::{Catalog, Title};
-pub use dynamic::{simulate_dynamic, DynamicReport, Epoch, EpochPlan};
+pub use dynamic::{
+    simulate_dynamic, simulate_dynamic_sequential, DynamicError, DynamicReport, Epoch,
+    EpochBreakdown, EpochPlan,
+};
 pub use planner::{brute_force_plan, plan_weighted, DelayPlan};
 pub use zipf::Zipf;

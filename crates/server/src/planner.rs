@@ -17,7 +17,24 @@
 //! distinct `(title, candidate-delay)` media length — is sharded across
 //! threads with [`sm_core::parallel_map`] before the (cheap, sequential)
 //! greedy runs, so large catalogs plan in parallel with bit-identical
-//! results.
+//! results. In the dynamic server this whole planner is additionally the
+//! *producer* stage of the cross-epoch pipeline (see [`crate::dynamic`]):
+//! epoch `k + 1` plans here while epoch `k` materializes.
+//!
+//! ```
+//! use sm_server::{plan_weighted, Catalog};
+//!
+//! let catalog = Catalog::zipf(3, 1.0, &[90.0, 120.0]);
+//! let cands = [1.0, 5.0, 20.0];
+//! // A generous budget gives every title the smallest delay…
+//! let generous = plan_weighted(&catalog, u64::MAX, &cands).unwrap();
+//! assert!(generous.delays_minutes.iter().all(|&d| d == 1.0));
+//! // …and squeezing the budget trades delay for bandwidth, never breaking
+//! // the budget and never improving the expected delay.
+//! let squeezed = plan_weighted(&catalog, generous.total_peak / 2, &cands).unwrap();
+//! assert!(squeezed.total_peak <= generous.total_peak / 2);
+//! assert!(squeezed.expected_delay >= generous.expected_delay);
+//! ```
 
 use std::collections::HashMap;
 

@@ -3,7 +3,10 @@
 use proptest::prelude::*;
 use rand::rngs::SmallRng;
 use rand::SeedableRng;
-use sm_server::{plan_weighted, simulate_requests, Catalog, Title, Zipf};
+use sm_server::{
+    plan_weighted, simulate_dynamic, simulate_dynamic_sequential, simulate_requests, Catalog,
+    DynamicReport, Epoch, Title, Zipf,
+};
 
 fn arb_catalog() -> impl Strategy<Value = Catalog> {
     proptest::collection::vec((30.0f64..=180.0, 0.1f64..=10.0), 1..=4).prop_map(|specs| {
@@ -21,8 +24,75 @@ fn arb_catalog() -> impl Strategy<Value = Catalog> {
     })
 }
 
+/// Multi-epoch scenarios: 1–4 epochs whose catalogs grow, shrink, and flip
+/// popularity freely (each epoch draws an independent catalog), spaced
+/// 40–400 minutes apart. The budget menu spans "mostly infeasible" through
+/// "unconstrained", and the horizon can fall short of the last switch so
+/// skipped epochs are exercised too.
+fn arb_dynamic_scenario() -> impl Strategy<Value = (Vec<Epoch>, u64, u64)> {
+    (
+        proptest::collection::vec((arb_catalog(), 40u64..=400), 1..=4),
+        0usize..5,
+        10u64..=500,
+    )
+        .prop_map(|(specs, budget_idx, tail)| {
+            let budgets = [6u64, 12, 24, 48, u64::MAX];
+            let mut epochs = Vec::new();
+            let mut start = 0u64;
+            for (catalog, gap) in specs {
+                epochs.push(Epoch {
+                    start_minute: start,
+                    catalog,
+                });
+                start += gap;
+            }
+            let last_start = epochs.last().expect("at least one epoch").start_minute;
+            // Sometimes shorter than the last switch (that epoch is skipped),
+            // sometimes well past it.
+            let horizon = (last_start / 2 + tail).max(1);
+            (epochs, budgets[budget_idx], horizon)
+        })
+}
+
+/// Field-by-field equality of two dynamic reports, excluding only the
+/// wall-clock latency fields — delegates to the one canonical definition
+/// on `DynamicReport`.
+fn assert_dynamic_reports_identical(a: &DynamicReport, b: &DynamicReport) {
+    if let Some(diff) = a.deterministic_diff(b) {
+        panic!("spines diverge: {diff}");
+    }
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// The pipelined dynamic spine is bit-identical to the sequential
+    /// reference on arbitrary multi-epoch catalogs — growing, shrinking,
+    /// popularity-flipping, under budget squeezes — including *which* error
+    /// fires when the budget is infeasible.
+    #[test]
+    fn pipelined_dynamic_matches_sequential_spine(
+        (epochs, budget, horizon) in arb_dynamic_scenario(),
+    ) {
+        let cands = [1.0, 2.0, 4.0, 8.0, 16.0];
+        let piped = simulate_dynamic(&epochs, budget, &cands, horizon);
+        let seq = simulate_dynamic_sequential(&epochs, budget, &cands, horizon);
+        match (piped, seq) {
+            (Ok(a), Ok(b)) => {
+                assert_dynamic_reports_identical(&a, &b);
+                // The per-epoch breakdown tiles the horizon: global peaks
+                // are the maxima over the epoch windows.
+                if !a.per_epoch.is_empty() {
+                    prop_assert_eq!(
+                        a.peak,
+                        a.per_epoch.iter().map(|e| e.peak).max().unwrap()
+                    );
+                }
+            }
+            (Err(a), Err(b)) => prop_assert_eq!(a, b),
+            (a, b) => prop_assert!(false, "spines disagree: {:?} vs {:?}", a, b),
+        }
+    }
 
     /// The Zipf CDF is a proper distribution and sampling stays in range.
     #[test]

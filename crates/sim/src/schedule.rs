@@ -105,31 +105,38 @@ impl<'a> ScheduleStream<'a> {
     pub fn remaining_trees(&self) -> usize {
         self.forest.num_trees() - self.next_tree
     }
+
+    /// Allocation-reusing form of `next`: writes the next tree's specs into
+    /// `specs` (cleared first, capacity kept) and returns the tree's base
+    /// arrival index, or `None` when the stream is exhausted. Consumers that
+    /// walk many schedules back to back — the dynamic server materializes
+    /// one schedule per `(title, epoch)` — reuse one scratch buffer across
+    /// all trees instead of allocating a `Vec` per tree.
+    pub fn next_into(&mut self, specs: &mut Vec<StreamSpec>) -> Option<usize> {
+        let tree = self.forest.trees().get(self.next_tree)?;
+        let base = self.base;
+        let local_times = &self.times[base..base + tree.len()];
+        let lens = cost::lengths(tree, local_times);
+        specs.clear();
+        specs.extend((0..tree.len()).map(|x| StreamSpec {
+            node: base + x,
+            start: local_times[x],
+            length: if x == 0 { self.media } else { lens[x] },
+        }));
+        self.next_tree += 1;
+        self.base += tree.len();
+        Some(base)
+    }
 }
 
 impl Iterator for ScheduleStream<'_> {
     type Item = TreeSchedule;
 
     fn next(&mut self) -> Option<TreeSchedule> {
-        let tree = self.forest.trees().get(self.next_tree)?;
-        let base = self.base;
-        let local_times = &self.times[base..base + tree.len()];
-        let lens = cost::lengths(tree, local_times);
-        let specs = (0..tree.len())
-            .map(|x| StreamSpec {
-                node: base + x,
-                start: local_times[x],
-                length: if x == 0 { self.media } else { lens[x] },
-            })
-            .collect();
-        let out = TreeSchedule {
-            tree: self.next_tree,
-            base,
-            specs,
-        };
-        self.next_tree += 1;
-        self.base += tree.len();
-        Some(out)
+        let tree = self.next_tree;
+        let mut specs = Vec::new();
+        let base = self.next_into(&mut specs)?;
+        Some(TreeSchedule { tree, base, specs })
     }
 
     fn size_hint(&self) -> (usize, Option<usize>) {
@@ -253,6 +260,26 @@ mod tests {
             .flat_map(|t| t.specs)
             .collect();
         assert_eq!(lazy, stream_schedule(&forest, &times, 15).unwrap());
+    }
+
+    #[test]
+    fn next_into_reuses_buffer_and_matches_iterator() {
+        let forest = fig4_forest();
+        let times = consecutive_slots(8);
+        let eager: Vec<TreeSchedule> = ScheduleStream::new(&forest, &times, 15).unwrap().collect();
+        let mut stream = ScheduleStream::new(&forest, &times, 15).unwrap();
+        let mut scratch = Vec::new();
+        let mut seen = 0usize;
+        while let Some(base) = stream.next_into(&mut scratch) {
+            assert_eq!(base, eager[seen].base);
+            assert_eq!(scratch, eager[seen].specs);
+            seen += 1;
+        }
+        assert_eq!(seen, eager.len());
+        // Exhausted stream leaves the scratch untouched thereafter.
+        let before = scratch.clone();
+        assert!(stream.next_into(&mut scratch).is_none());
+        assert_eq!(scratch, before);
     }
 
     #[test]

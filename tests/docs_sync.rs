@@ -1,0 +1,196 @@
+//! Documentation drift gate: fails when `README.md` / `ARCHITECTURE.md`
+//! fall out of step with the workspace they describe. Runs in the tier-1
+//! test suite and as an explicit CI step, so the front-door pages cannot
+//! silently rot.
+
+use std::fs;
+use std::path::{Path, PathBuf};
+
+fn root() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+}
+
+fn read(rel: &str) -> String {
+    let path = root().join(rel);
+    fs::read_to_string(&path).unwrap_or_else(|e| panic!("missing {}: {e}", path.display()))
+}
+
+/// Every entry of the `cases` array in `BENCH_scale.json`, as raw lines.
+fn bench_case_lines(json: &str) -> Vec<&str> {
+    json.lines()
+        .filter(|l| l.trim_start().starts_with('{') && l.contains("\"name\""))
+        .collect()
+}
+
+/// Extracts `"key": <number>` from a JSON case line.
+fn json_number(line: &str, key: &str) -> f64 {
+    let needle = format!("\"{key}\": ");
+    let start = line
+        .find(&needle)
+        .unwrap_or_else(|| panic!("no {key} in {line}"))
+        + needle.len();
+    let rest = &line[start..];
+    let end = rest
+        .find([',', '}'])
+        .unwrap_or_else(|| panic!("unterminated {key} in {line}"));
+    rest[..end]
+        .trim()
+        .parse()
+        .unwrap_or_else(|e| panic!("bad {key} in {line}: {e}"))
+}
+
+#[test]
+fn readme_exists_and_cross_links_the_doc_set() {
+    let readme = read("README.md");
+    for link in ["ARCHITECTURE.md", "ROADMAP.md", "PAPER.md", "PAPERS.md"] {
+        assert!(readme.contains(link), "README.md must link {link}");
+    }
+    // The quickstart must quote the tier-1 gate verbatim.
+    assert!(
+        readme.contains("cargo build --release && cargo test -q"),
+        "README.md quickstart must state the tier-1 command"
+    );
+    // The offline-build caveat is load-bearing for contributors.
+    assert!(
+        readme.contains("third_party/"),
+        "README.md must explain the vendored third_party/ stubs"
+    );
+}
+
+#[test]
+fn readme_workspace_map_matches_cargo_members() {
+    let readme = read("README.md");
+    let manifest = read("Cargo.toml");
+    let mut crates_seen = 0;
+    for line in manifest.lines() {
+        let line = line.trim().trim_matches(|c| c == '"' || c == ',');
+        if let Some(dir) = line.strip_prefix("crates/") {
+            let krate = format!("sm-{dir}");
+            assert!(
+                readme.contains(&krate),
+                "README.md workspace map is missing workspace member `{krate}`"
+            );
+            crates_seen += 1;
+        }
+    }
+    assert_eq!(crates_seen, 11, "expected the 11 sm-* workspace members");
+}
+
+#[test]
+fn readme_example_tour_names_real_examples() {
+    let readme = read("README.md");
+    let mut found = 0;
+    for chunk in readme.split("--example ").skip(1) {
+        let name: String = chunk
+            .chars()
+            .take_while(|c| c.is_ascii_alphanumeric() || *c == '_')
+            .collect();
+        let path = root().join("examples").join(format!("{name}.rs"));
+        assert!(
+            path.exists(),
+            "README.md tours `--example {name}` but {} does not exist",
+            path.display()
+        );
+        found += 1;
+    }
+    assert!(found >= 5, "README.md should tour the examples directory");
+}
+
+#[test]
+fn architecture_documents_the_runtime_pieces() {
+    let arch = read("ARCHITECTURE.md");
+    for piece in [
+        "engine::events",
+        "engine::dense",
+        "ScheduleStream",
+        "simulate_streaming",
+        "simulate_dynamic",
+        "simulate_dynamic_sequential",
+        "parallel_map",
+        "DynamicError",
+        "EpochBreakdown",
+    ] {
+        assert!(arch.contains(piece), "ARCHITECTURE.md must cover {piece}");
+    }
+    assert!(
+        read("ROADMAP.md").contains("ARCHITECTURE.md"),
+        "ROADMAP.md must cross-link ARCHITECTURE.md"
+    );
+}
+
+#[test]
+fn bench_json_schema_is_documented_field_by_field() {
+    let arch = read("ARCHITECTURE.md");
+    let bench_src = read("crates/bench/benches/scale.rs");
+    // One canonical field list, checked against BOTH the producer and the
+    // docs — drift on either side fails here.
+    for field in [
+        "bench",
+        "cases",
+        "name",
+        "arrivals",
+        "engine",
+        "wall_ms",
+        "peak_streams",
+        "total_units",
+    ] {
+        assert!(
+            bench_src.contains(&format!("\\\"{field}\\\"")),
+            "benches/scale.rs no longer emits `{field}` — update this test and ARCHITECTURE.md"
+        );
+        assert!(
+            arch.contains(&format!("`{field}`")),
+            "ARCHITECTURE.md must document the BENCH_scale.json field `{field}`"
+        );
+    }
+}
+
+#[test]
+fn committed_bench_trajectory_has_the_dynamic_datapoints() {
+    let json = read("BENCH_scale.json");
+    let cases = bench_case_lines(&json);
+    assert!(
+        cases.len() >= 5,
+        "BENCH_scale.json should carry the three sim shapes plus both dynamic spines"
+    );
+    let dynamic: Vec<&&str> = cases
+        .iter()
+        .filter(|l| l.contains("server_dynamic"))
+        .collect();
+    let piped = dynamic
+        .iter()
+        .find(|l| l.contains("\"pipelined\""))
+        .expect("BENCH_scale.json must carry the pipelined dynamic datapoint");
+    let seq = dynamic
+        .iter()
+        .find(|l| l.contains("\"sequential\""))
+        .expect("BENCH_scale.json must carry the sequential dynamic datapoint");
+    let (piped_ms, seq_ms) = (json_number(piped, "wall_ms"), json_number(seq, "wall_ms"));
+    // The acceptance bar of the cross-epoch pipeline: the committed
+    // full-size run realizes the overlap (or at worst breaks even).
+    assert!(
+        piped_ms <= seq_ms,
+        "committed dynamic datapoint regressed: pipelined {piped_ms} ms > sequential {seq_ms} ms"
+    );
+    // Identical workload ⇒ identical deterministic outputs.
+    assert_eq!(
+        json_number(piped, "total_units"),
+        json_number(seq, "total_units"),
+        "the two dynamic spines must report identical stream-minutes"
+    );
+    assert_eq!(
+        json_number(piped, "peak_streams"),
+        json_number(seq, "peak_streams"),
+        "the two dynamic spines must report identical peaks"
+    );
+}
+
+#[test]
+fn doc_front_door_files_are_tracked_alongside_the_paper_docs() {
+    for page in ["README.md", "ARCHITECTURE.md", "ROADMAP.md", "CHANGES.md"] {
+        assert!(
+            Path::new(&root().join(page)).exists(),
+            "{page} must exist at the workspace root"
+        );
+    }
+}
