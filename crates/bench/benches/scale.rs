@@ -19,6 +19,11 @@
 //!   arrivals batched into star trees — one full stream per occupied slot,
 //!   spike clients riding the batch.
 //!
+//! A fourth case drives the many-epoch dynamic server: the sequential
+//! reference spine plus the depth-K plan-ahead pipeline at K ∈ {1, 2, 4},
+//! with the K ≥ 2 runs sharing a cross-epoch `PlannerMemo` whose hit count
+//! lands in the JSON (`memo_hits`).
+//!
 //! `SM_SCALE_ARRIVALS` overrides the arrival count (CI smoke-runs a small
 //! N; the default is 10⁶). Besides the criterion timings, one dedicated
 //! measured run per case is appended to a machine-readable
@@ -28,7 +33,10 @@
 use criterion::{criterion_group, criterion_main, Criterion};
 use sm_core::{consecutive_slots, MergeForest, MergeTree};
 use sm_online::DelayGuaranteedOnline;
-use sm_server::{plan_weighted, simulate_dynamic, simulate_dynamic_sequential, Catalog, Epoch};
+use sm_server::{
+    plan_weighted, simulate_dynamic, simulate_dynamic_sequential, simulate_dynamic_with, Catalog,
+    DynamicConfig, Epoch, PlannerMemo,
+};
 use sm_sim::{simulate_streaming, SimConfig, StreamingSummary};
 use sm_workload::{deep_chain_forest, ArrivalProcess, FlashCrowd};
 use std::hint::black_box;
@@ -76,6 +84,10 @@ struct CaseResult {
     wall_ms: f64,
     peak_streams: u32,
     total_units: i64,
+    /// Planner-memo lookups served from cache during the run (intra-epoch
+    /// greedy lookups included — see the ARCHITECTURE.md schema note): 0
+    /// for the simulator cases and every memo-free dynamic configuration.
+    memo_hits: u64,
 }
 
 /// One dedicated timed streaming run (outside the criterion sampling),
@@ -103,6 +115,7 @@ fn timed_case(
             wall_ms,
             peak_streams: summary.bandwidth.peak(),
             total_units: summary.total_units,
+            memo_hits: 0,
         },
         summary,
     )
@@ -138,9 +151,11 @@ fn dynamic_workload(epoch_count: usize, epoch_minutes: u64) -> (Vec<Epoch>, u64,
 /// Writes the run's datapoints as one JSON snapshot; hand-rolled (the
 /// offline workspace vendors no serde) but machine-readable. Full-size runs
 /// refresh the committed `BENCH_scale.json` (the per-commit perf
-/// trajectory); reduced-N smoke runs (`SM_SCALE_ARRIVALS` set) go to the
-/// gitignored `BENCH_scale_smoke.json` so they never clobber the committed
-/// 10⁶-arrival datapoints. `SM_BENCH_JSON` overrides the path outright.
+/// trajectory); reduced-N smoke runs (`SM_SCALE_ARRIVALS` set) go to
+/// `BENCH_scale_smoke.json` — committed too, so `tests/docs_sync.rs` can
+/// validate its schema, but refreshed by CI's smoke step rather than by
+/// full-size runs — so they never clobber the committed 10⁶-arrival
+/// datapoints. `SM_BENCH_JSON` overrides the path outright.
 fn write_bench_json(results: &[CaseResult]) {
     let default_path = if std::env::var_os("SM_SCALE_ARRIVALS").is_some() {
         concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_scale_smoke.json")
@@ -153,13 +168,15 @@ fn write_bench_json(results: &[CaseResult]) {
     for (i, r) in results.iter().enumerate() {
         out.push_str(&format!(
             "    {{\"name\": \"{}\", \"arrivals\": {}, \"engine\": \"{}\", \
-             \"wall_ms\": {:.3}, \"peak_streams\": {}, \"total_units\": {}}}{}\n",
+             \"wall_ms\": {:.3}, \"peak_streams\": {}, \"total_units\": {}, \
+             \"memo_hits\": {}}}{}\n",
             r.name,
             r.arrivals,
             r.engine,
             r.wall_ms,
             r.peak_streams,
             r.total_units,
+            r.memo_hits,
             if i + 1 < results.len() { "," } else { "" }
         ));
     }
@@ -282,36 +299,28 @@ fn bench_scale(c: &mut Criterion) {
             black_box(summary.bandwidth.peak())
         })
     });
-    // Many-epoch dynamic server: the cross-epoch pipeline (plan k + 1 while
-    // k materializes, incremental minute binning) against the sequential
-    // reference spine on the identical workload. Both runs are checked
-    // bit-identical before either datapoint is recorded.
+    // Many-epoch dynamic server: the depth-K cross-epoch pipeline against
+    // the sequential reference spine on the identical workload. Three
+    // plan-ahead depths are measured — K = 1 memo-free (the PR-4
+    // configuration) and K ∈ {2, 4} each with a fresh run-shared
+    // `PlannerMemo`. The cross-epoch reuse the memo exists for (the
+    // workload's catalogs cycle five sizes over a fixed duration menu, so
+    // most epochs re-plan lengths an earlier epoch already analyzed) shows
+    // up as the K ≥ 2 wall-time drop below K = 1; the recorded hit count
+    // confirms the memo was live but also includes intra-epoch lookups.
+    // Every run is checked bit-identical against the sequential baseline
+    // before its datapoint is recorded.
     let epoch_count = (n / 20_000).clamp(4, 48);
     let (epochs, horizon, budget) = dynamic_workload(epoch_count, 600);
     let candidates = [1.0, 2.0, 4.0, 8.0, 16.0];
-    // Warm caches so neither spine pays the cold-start cost in its timing.
+    // Warm OS/allocator state so no spine pays a cold-start cost.
     let _ = simulate_dynamic(&epochs, budget, &candidates, horizon)
         .expect("bench epochs must be plannable");
     let t0 = Instant::now();
     let seq = simulate_dynamic_sequential(&epochs, budget, &candidates, horizon)
         .expect("bench epochs must be plannable");
     let seq_ms = t0.elapsed().as_secs_f64() * 1e3;
-    let t0 = Instant::now();
-    let piped = simulate_dynamic(&epochs, budget, &candidates, horizon)
-        .expect("bench epochs must be plannable");
-    let piped_ms = t0.elapsed().as_secs_f64() * 1e3;
-    assert_eq!(piped.per_minute, seq.per_minute, "spines must agree");
-    assert_eq!(piped.peak, seq.peak, "spines must agree");
-    println!(
-        "bench: scale/server_dynamic pipelined vs sequential: {:.2}x \
-         ({:.1} ms vs {:.1} ms over {} epochs, {} minutes)",
-        piped_ms / seq_ms.max(1e-9),
-        piped_ms,
-        seq_ms,
-        epoch_count,
-        horizon
-    );
-    let dynamic_units = piped.per_minute.iter().sum::<u64>() as i64;
+    let dynamic_units = seq.per_minute.iter().sum::<u64>() as i64;
     results.push(CaseResult {
         name: format!("server_dynamic_E{epoch_count}"),
         engine: "sequential",
@@ -319,22 +328,59 @@ fn bench_scale(c: &mut Criterion) {
         wall_ms: seq_ms,
         peak_streams: seq.peak as u32,
         total_units: dynamic_units,
+        memo_hits: 0,
     });
-    results.push(CaseResult {
-        name: format!("server_dynamic_E{epoch_count}"),
-        engine: "pipelined",
-        arrivals: epoch_count,
-        wall_ms: piped_ms,
-        peak_streams: piped.peak as u32,
-        total_units: dynamic_units,
-    });
-    g.bench_function(format!("server_dynamic_pipelined_E{epoch_count}"), |b| {
-        b.iter(|| {
-            let report = simulate_dynamic(black_box(&epochs), budget, &candidates, horizon)
-                .expect("bench epochs must be plannable");
-            black_box(report.peak)
-        })
-    });
+    for plan_ahead in [1usize, 2, 4] {
+        let memo = (plan_ahead > 1).then(PlannerMemo::new);
+        let config = DynamicConfig {
+            plan_ahead,
+            memo: memo.clone(),
+        };
+        let t0 = Instant::now();
+        let piped = simulate_dynamic_with(&epochs, budget, &candidates, horizon, &config)
+            .expect("bench epochs must be plannable");
+        let piped_ms = t0.elapsed().as_secs_f64() * 1e3;
+        if let Some(diff) = piped.deterministic_diff(&seq) {
+            panic!("K = {plan_ahead} diverges from the sequential spine: {diff}");
+        }
+        let memo_hits = memo.as_ref().map(|m| m.hits()).unwrap_or(0);
+        println!(
+            "bench: scale/server_dynamic K = {plan_ahead}{} vs sequential: {:.2}x \
+             ({:.1} ms vs {:.1} ms over {} epochs, {} minutes, {} memo hits)",
+            if memo.is_some() { " + memo" } else { "" },
+            piped_ms / seq_ms.max(1e-9),
+            piped_ms,
+            seq_ms,
+            epoch_count,
+            horizon,
+            memo_hits
+        );
+        results.push(CaseResult {
+            name: format!("server_dynamic_E{epoch_count}_k{plan_ahead}"),
+            engine: "pipelined",
+            arrivals: epoch_count,
+            wall_ms: piped_ms,
+            peak_streams: piped.peak as u32,
+            total_units: dynamic_units,
+            memo_hits,
+        });
+        g.bench_function(
+            format!("server_dynamic_pipelined_E{epoch_count}_k{plan_ahead}"),
+            |b| {
+                b.iter(|| {
+                    let report = simulate_dynamic_with(
+                        black_box(&epochs),
+                        budget,
+                        &candidates,
+                        horizon,
+                        &config,
+                    )
+                    .expect("bench epochs must be plannable");
+                    black_box(report.peak)
+                })
+            },
+        );
+    }
     g.finish();
 
     write_bench_json(&results);

@@ -11,14 +11,16 @@
 //! [`pipeline`] covers the orthogonal shape: a *sequence* of stages where
 //! stage `k + 1`'s first half can start before stage `k`'s second half has
 //! finished. A dedicated scoped producer thread runs `produce(i)` for every
-//! index in order and feeds a bounded SPSC channel; the calling thread pops
-//! items in order and runs `consume(i, item)` — so `produce(k + 1)` overlaps
-//! `consume(k)` while order, results, and the first error are exactly those
-//! of the plain sequential interleaving. The `sm-server` dynamic simulator
-//! uses it to plan epoch `k + 1` while epoch `k` materializes; each stage may
-//! freely call [`parallel_map`] internally (stage threads are *not* marked as
-//! workers), while a `pipeline` call from inside a `parallel_map` worker runs
-//! inline so nesting never oversubscribes the machine.
+//! index in order and feeds a bounded depth-`K` SPSC channel; the calling
+//! thread pops items in order and runs `consume(i, item)` — so the producer
+//! runs up to `K` finished items (plus one in flight) ahead of the consumer
+//! while order, results, and the first error are exactly those of the plain
+//! sequential interleaving, at any depth. The `sm-server` dynamic simulator
+//! uses it to plan up to `K` epochs ahead of materialization
+//! (`DynamicConfig::plan_ahead`); each stage may freely call
+//! [`parallel_map`] internally (stage threads are *not* marked as workers),
+//! while a `pipeline` call from inside a `parallel_map` worker runs inline
+//! so nesting never oversubscribes the machine.
 
 use parking_lot::Mutex;
 use std::collections::VecDeque;
@@ -150,8 +152,10 @@ impl<T> Channel<T> {
 /// Runs a two-stage pipeline over the indices `0..n`: `produce(i)` executes
 /// on a dedicated scoped thread, `consume(i, item)` on the calling thread, a
 /// bounded channel holding at most `depth` finished-but-unconsumed items
-/// between them. With `depth == 1` the classic overlap is realized:
-/// `produce(k + 1)` runs while `consume(k)` does.
+/// between them. With `depth == 1` the classic overlap is realized —
+/// `produce(k + 1)` runs while `consume(k)` does; a larger depth lets a
+/// bursty producer run up to `depth` items (plus one in flight) ahead of a
+/// slow consumer before backpressure blocks it, never further.
 ///
 /// Semantics are exactly those of the sequential interleaving
 /// `produce(0), consume(0), produce(1), consume(1), …`:
@@ -380,21 +384,81 @@ mod tests {
     }
 
     #[test]
-    fn pipeline_consumer_error_stops_producer_promptly() {
+    fn pipeline_consumer_error_stops_producer_promptly_at_any_depth() {
+        for depth in [1usize, 2, 4] {
+            let produced = AtomicUsize::new(0);
+            let out: Result<Vec<usize>, ()> = pipeline(
+                1000,
+                depth,
+                |i| {
+                    produced.fetch_add(1, Ordering::Relaxed);
+                    Ok(i)
+                },
+                |i, item| if i == 0 { Err(()) } else { Ok(item) },
+            );
+            assert!(out.is_err());
+            // At most 1 consumed + `depth` buffered + 2 in flight items can
+            // be produced before the abort is observed.
+            assert!(
+                produced.load(Ordering::Relaxed) <= depth + 3,
+                "depth {depth}: produced {}",
+                produced.load(Ordering::Relaxed)
+            );
+        }
+    }
+
+    #[test]
+    fn pipeline_run_ahead_is_bounded_by_depth() {
+        // The channel is the backpressure mechanism: at the moment
+        // `consume(i)` starts, at most `i + 1` items were popped, at most
+        // `depth` more sit finished in the buffer, and one more may be in
+        // flight inside `produce` — so the producer can never have started
+        // more than `i + depth + 2` productions, no matter how fast it is.
+        for depth in [1usize, 2, 4, 8] {
+            let produced = AtomicUsize::new(0);
+            let out: Result<Vec<usize>, ()> = pipeline(
+                200,
+                depth,
+                |i| {
+                    produced.fetch_add(1, Ordering::Relaxed);
+                    Ok(i)
+                },
+                |i, item| {
+                    let ahead = produced.load(Ordering::Relaxed);
+                    assert!(
+                        ahead <= i + depth + 2,
+                        "depth {depth}: {ahead} productions started by consume({i})"
+                    );
+                    Ok(item)
+                },
+            );
+            assert_eq!(out.unwrap().len(), 200);
+        }
+    }
+
+    #[test]
+    fn pipeline_depth_covering_n_lets_the_producer_finish_first() {
+        // With depth ≥ n the channel never fills: the producer can run the
+        // whole index range to completion while the consumer sits on its
+        // first item. The consumer waits for exactly that before touching
+        // anything — deadlock here would mean the capacity is not honored.
+        const N: usize = 64;
         let produced = AtomicUsize::new(0);
         let out: Result<Vec<usize>, ()> = pipeline(
-            1000,
-            1,
+            N,
+            N,
             |i| {
                 produced.fetch_add(1, Ordering::Relaxed);
-                Ok(i)
+                Ok(i * 3)
             },
-            |i, item| if i == 0 { Err(()) } else { Ok(item) },
+            |_, item| {
+                while produced.load(Ordering::Relaxed) < N {
+                    std::thread::yield_now();
+                }
+                Ok(item)
+            },
         );
-        assert!(out.is_err());
-        // Depth 1 ⇒ at most a few items can be produced before the abort is
-        // observed (1 consumed + 1 buffered + 1 in flight).
-        assert!(produced.load(Ordering::Relaxed) <= 4);
+        assert_eq!(out.unwrap(), (0..N).map(|i| i * 3).collect::<Vec<_>>());
     }
 
     #[test]

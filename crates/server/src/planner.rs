@@ -14,12 +14,17 @@
 //! and the tests verify the greedy matches it.
 //!
 //! The expensive part — one steady-state Delay Guaranteed analysis per
-//! distinct `(title, candidate-delay)` media length — is sharded across
-//! threads with [`sm_core::parallel_map`] before the (cheap, sequential)
-//! greedy runs, so large catalogs plan in parallel with bit-identical
-//! results. In the dynamic server this whole planner is additionally the
-//! *producer* stage of the cross-epoch pipeline (see [`crate::dynamic`]):
-//! epoch `k + 1` plans here while epoch `k` materializes.
+//! distinct `(title, candidate-delay)` media length — goes through a
+//! [`PlannerMemo`]: the bulk seeding stage shards the *unseen* lengths
+//! across threads with [`sm_core::parallel_map`] before the (cheap,
+//! sequential) greedy runs, so large catalogs plan in parallel with
+//! bit-identical results. [`plan_weighted`] uses a fresh memo per call;
+//! [`plan_weighted_with`] threads a caller-owned memo through, so repeated
+//! plans — the dynamic server re-planning overlapping catalogs every epoch
+//! — pay for each distinct media length once per memo lifetime. In the
+//! dynamic server this whole planner is additionally the *producer* stage
+//! of the cross-epoch pipeline (see [`crate::dynamic`]): epochs plan here
+//! up to `plan_ahead` epochs ahead of materialization.
 //!
 //! ```
 //! use sm_server::{plan_weighted, Catalog};
@@ -36,11 +41,8 @@
 //! assert!(squeezed.expected_delay >= generous.expected_delay);
 //! ```
 
-use std::collections::HashMap;
-
 use crate::catalog::Catalog;
-use sm_core::parallel_map;
-use sm_online::capacity::steady_state_bandwidth;
+use crate::memo::PlannerMemo;
 
 /// A per-title delay assignment and its verified bandwidth demand.
 #[derive(Debug, Clone, PartialEq)]
@@ -55,18 +57,11 @@ pub struct DelayPlan {
     pub expected_delay: f64,
 }
 
-/// Memoized steady-state peak for a media length.
-fn peak_for(cache: &mut HashMap<u64, u32>, media_len: u64) -> u32 {
-    *cache
-        .entry(media_len)
-        .or_insert_with(|| steady_state_bandwidth(media_len).peak)
-}
-
 fn build_plan(
     catalog: &Catalog,
     candidates: &[f64],
     choice: &[usize],
-    cache: &mut HashMap<u64, u32>,
+    memo: &PlannerMemo,
 ) -> DelayPlan {
     let probs = catalog.probabilities();
     let mut delays = Vec::with_capacity(choice.len());
@@ -75,7 +70,7 @@ fn build_plan(
     for (i, (&c, title)) in choice.iter().zip(catalog.titles()).enumerate() {
         let d = candidates[c];
         delays.push(d);
-        peaks.push(peak_for(cache, title.media_len(d)));
+        peaks.push(memo.peak(title.media_len(d)));
         expected_delay += probs[i] * d;
     }
     let total_peak = peaks.iter().map(|&p| p as u64).sum();
@@ -98,29 +93,40 @@ pub fn plan_weighted(
     budget_streams: u64,
     candidates_minutes: &[f64],
 ) -> Option<DelayPlan> {
+    plan_weighted_with(
+        catalog,
+        budget_streams,
+        candidates_minutes,
+        &PlannerMemo::new(),
+    )
+}
+
+/// [`plan_weighted`] with a caller-owned [`PlannerMemo`]: every distinct
+/// media length the plan needs is analyzed at most once per memo lifetime,
+/// so re-planning overlapping catalogs (the dynamic server's epoch loop)
+/// reuses earlier analyses instead of re-deriving them. The chosen plan is
+/// **bit-identical** to [`plan_weighted`]'s — the memo caches pure
+/// functions of the media length.
+pub fn plan_weighted_with(
+    catalog: &Catalog,
+    budget_streams: u64,
+    candidates_minutes: &[f64],
+    memo: &PlannerMemo,
+) -> Option<DelayPlan> {
     assert!(!candidates_minutes.is_empty());
     assert!(
         candidates_minutes.windows(2).all(|w| w[0] < w[1]),
         "candidate delays must be strictly ascending"
     );
     let probs = catalog.probabilities();
-    // The per-length steady-state analyses are independent, so shard the
-    // distinct ones across threads and seed the memo cache (order-
-    // preserving — the chosen plan is identical to a sequential run). Two
-    // stages keep the common generous-budget case cheap: only the
-    // smallest-delay lengths are analyzed up front; the full
+    // The per-length steady-state analyses are independent, so the memo's
+    // seeding stage shards the distinct *unseen* ones across threads
+    // (order-preserving — the chosen plan is identical to a sequential
+    // run). Two stages keep the common generous-budget case cheap: only
+    // the smallest-delay lengths are analyzed up front; the full
     // |titles| × |candidates| cross product is precomputed just before the
     // greedy starts relaxing, when most of it will be queried anyway.
-    let seed_cache = |cache: &mut HashMap<u64, u32>, mut lens: Vec<u64>| {
-        lens.sort_unstable();
-        lens.dedup();
-        lens.retain(|l| !cache.contains_key(l));
-        let peaks = parallel_map(&lens, |&l| steady_state_bandwidth(l).peak);
-        cache.extend(lens.into_iter().zip(peaks));
-    };
-    let mut cache = HashMap::new();
-    seed_cache(
-        &mut cache,
+    memo.seed_peaks(
         catalog
             .titles()
             .iter()
@@ -128,10 +134,9 @@ pub fn plan_weighted(
             .collect(),
     );
     let mut choice = vec![0usize; catalog.len()];
-    let mut plan = build_plan(catalog, candidates_minutes, &choice, &mut cache);
+    let mut plan = build_plan(catalog, candidates_minutes, &choice, memo);
     if plan.total_peak > budget_streams {
-        seed_cache(
-            &mut cache,
+        memo.seed_peaks(
             catalog
                 .titles()
                 .iter()
@@ -146,14 +151,9 @@ pub fn plan_weighted(
             if choice[i] + 1 >= candidates_minutes.len() {
                 continue;
             }
-            let cur_peak = peak_for(
-                &mut cache,
-                catalog.titles()[i].media_len(candidates_minutes[choice[i]]),
-            );
-            let next_peak = peak_for(
-                &mut cache,
-                catalog.titles()[i].media_len(candidates_minutes[choice[i] + 1]),
-            );
+            let cur_peak = memo.peak(catalog.titles()[i].media_len(candidates_minutes[choice[i]]));
+            let next_peak =
+                memo.peak(catalog.titles()[i].media_len(candidates_minutes[choice[i] + 1]));
             let saved = cur_peak.saturating_sub(next_peak) as f64;
             let pain =
                 probs[i] * (candidates_minutes[choice[i] + 1] - candidates_minutes[choice[i]]);
@@ -164,7 +164,7 @@ pub fn plan_weighted(
         }
         let (i, _) = best?; // no move left: budget unreachable
         choice[i] += 1;
-        plan = build_plan(catalog, candidates_minutes, &choice, &mut cache);
+        plan = build_plan(catalog, candidates_minutes, &choice, memo);
     }
     Some(plan)
 }
@@ -182,11 +182,11 @@ pub fn brute_force_plan(
     let c = candidates_minutes.len();
     let space = (c as u128).checked_pow(k as u32).expect("space overflow");
     assert!(space <= 1_000_000, "brute force space too large: {space}");
-    let mut cache = HashMap::new();
+    let memo = PlannerMemo::new();
     let mut best: Option<DelayPlan> = None;
     let mut choice = vec![0usize; k];
     loop {
-        let plan = build_plan(catalog, candidates_minutes, &choice, &mut cache);
+        let plan = build_plan(catalog, candidates_minutes, &choice, &memo);
         if plan.total_peak <= budget_streams
             && best
                 .as_ref()
@@ -215,6 +215,7 @@ pub fn brute_force_plan(
 mod tests {
     use super::*;
     use crate::catalog::{Catalog, Title};
+    use sm_online::capacity::steady_state_bandwidth;
 
     fn small_catalog() -> Catalog {
         Catalog::new(vec![
@@ -313,6 +314,29 @@ mod tests {
                 last = plan.expected_delay;
             }
         }
+    }
+
+    #[test]
+    fn shared_memo_plans_are_bit_identical_and_reuse_analyses() {
+        let catalog = small_catalog();
+        let all_min = plan_weighted(&catalog, u64::MAX, &[1.0])
+            .unwrap()
+            .total_peak;
+        let budget = all_min * 2 / 3;
+        let memo = PlannerMemo::new();
+        let fresh = plan_weighted(&catalog, budget, &CANDS);
+        let memod = plan_weighted_with(&catalog, budget, &CANDS, &memo);
+        assert_eq!(fresh, memod, "memo must not change the chosen plan");
+        let analyses = memo.misses();
+        assert!(analyses > 0);
+        let again = plan_weighted_with(&catalog, budget, &CANDS, &memo);
+        assert_eq!(fresh, again);
+        assert_eq!(
+            memo.misses(),
+            analyses,
+            "re-planning must not re-analyze any length"
+        );
+        assert!(memo.hits() > 0);
     }
 
     #[test]

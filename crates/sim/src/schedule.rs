@@ -106,6 +106,17 @@ impl<'a> ScheduleStream<'a> {
         self.forest.num_trees() - self.next_tree
     }
 
+    /// Number of arrivals (equivalently, stream specs) the remaining walk
+    /// will yield — exact, since every arrival carries exactly one stream.
+    /// The sibling of [`remaining_trees`](Self::remaining_trees) at arrival
+    /// granularity: consumers that flatten many schedules back to back (the
+    /// dynamic server's materializer draining a depth-K backlog of planned
+    /// epochs) use it to pre-size their spec sinks from the stream's own
+    /// contract instead of re-deriving the count from the forest they built.
+    pub fn remaining_arrivals(&self) -> usize {
+        self.forest.total_arrivals() - self.base
+    }
+
     /// Allocation-reusing form of `next`: writes the next tree's specs into
     /// `specs` (cleared first, capacity kept) and returns the tree's base
     /// arrival index, or `None` when the stream is exhausted. Consumers that
@@ -234,9 +245,15 @@ mod tests {
         let times = consecutive_slots(6);
         let mut stream = ScheduleStream::new(&forest, &times, 10).unwrap();
         assert_eq!(stream.remaining_trees(), 2);
+        assert_eq!(stream.remaining_arrivals(), 6);
         let first = stream.next().unwrap();
         assert_eq!((first.tree, first.base, first.len()), (0, 0, 3));
         assert_eq!(stream.remaining_trees(), 1);
+        assert_eq!(
+            stream.remaining_arrivals(),
+            3,
+            "one pulled tree's arrivals leave the remaining count"
+        );
         let second = stream.next().unwrap();
         assert_eq!((second.tree, second.base, second.len()), (1, 3, 3));
         assert!(stream.next().is_none());

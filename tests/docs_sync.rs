@@ -109,6 +109,9 @@ fn architecture_documents_the_runtime_pieces() {
         "parallel_map",
         "DynamicError",
         "EpochBreakdown",
+        "DynamicConfig",
+        "plan_ahead",
+        "PlannerMemo",
     ] {
         assert!(arch.contains(piece), "ARCHITECTURE.md must cover {piece}");
     }
@@ -133,6 +136,7 @@ fn bench_json_schema_is_documented_field_by_field() {
         "wall_ms",
         "peak_streams",
         "total_units",
+        "memo_hits",
     ] {
         assert!(
             bench_src.contains(&format!("\\\"{field}\\\"")),
@@ -150,39 +154,119 @@ fn committed_bench_trajectory_has_the_dynamic_datapoints() {
     let json = read("BENCH_scale.json");
     let cases = bench_case_lines(&json);
     assert!(
-        cases.len() >= 5,
-        "BENCH_scale.json should carry the three sim shapes plus both dynamic spines"
+        cases.len() >= 7,
+        "BENCH_scale.json should carry the three sim shapes, the sequential \
+         dynamic baseline, and the pipelined K ∈ {{1, 2, 4}} sweep"
     );
     let dynamic: Vec<&&str> = cases
         .iter()
         .filter(|l| l.contains("server_dynamic"))
         .collect();
-    let piped = dynamic
-        .iter()
-        .find(|l| l.contains("\"pipelined\""))
-        .expect("BENCH_scale.json must carry the pipelined dynamic datapoint");
     let seq = dynamic
         .iter()
         .find(|l| l.contains("\"sequential\""))
-        .expect("BENCH_scale.json must carry the sequential dynamic datapoint");
-    let (piped_ms, seq_ms) = (json_number(piped, "wall_ms"), json_number(seq, "wall_ms"));
-    // The acceptance bar of the cross-epoch pipeline: the committed
-    // full-size run realizes the overlap (or at worst breaks even).
+        .expect("BENCH_scale.json must carry the sequential dynamic baseline");
+    let seq_ms = json_number(seq, "wall_ms");
+    assert_eq!(
+        json_number(seq, "memo_hits"),
+        0.0,
+        "the sequential baseline runs memo-free"
+    );
+    let k_line = |k: u32| {
+        dynamic
+            .iter()
+            .find(|l| l.contains(&format!("_k{k}\"")) && l.contains("\"pipelined\""))
+            .unwrap_or_else(|| {
+                panic!("BENCH_scale.json must carry the pipelined K = {k} dynamic datapoint")
+            })
+    };
+    let (k1, k2, k4) = (k_line(1), k_line(2), k_line(4));
+    let k1_ms = json_number(k1, "wall_ms");
+    for (k, line) in [(1u32, k1), (2, k2), (4, k4)] {
+        let ms = json_number(line, "wall_ms");
+        // The acceptance bar of the cross-epoch pipeline: the committed
+        // full-size run realizes the overlap (or at worst breaks even) at
+        // every plan-ahead depth.
+        assert!(
+            ms <= seq_ms,
+            "committed K = {k} datapoint regressed: pipelined {ms} ms > sequential {seq_ms} ms"
+        );
+        // Identical workload ⇒ identical deterministic outputs.
+        assert_eq!(
+            json_number(line, "total_units"),
+            json_number(seq, "total_units"),
+            "K = {k} must report the sequential spine's stream-minutes"
+        );
+        assert_eq!(
+            json_number(line, "peak_streams"),
+            json_number(seq, "peak_streams"),
+            "K = {k} must report the sequential spine's peak"
+        );
+    }
+    // K = 1 is the memo-free PR-4 configuration; the K ≥ 2 runs carry the
+    // cross-epoch memo and must realize its reuse: recorded hits, and wall
+    // time at or below the depth-1 run's.
+    assert_eq!(json_number(k1, "memo_hits"), 0.0, "K = 1 runs memo-free");
+    for (k, line) in [(2u32, k2), (4, k4)] {
+        assert!(
+            json_number(line, "memo_hits") > 0.0,
+            "K = {k} must record cross-epoch memo hits"
+        );
+        let ms = json_number(line, "wall_ms");
+        assert!(
+            ms <= k1_ms,
+            "K = {k} + memo regressed past the depth-1 run: {ms} ms > {k1_ms} ms"
+        );
+    }
+}
+
+/// Structural schema check applied to **both** committed bench snapshots:
+/// the full-size `BENCH_scale.json` and the reduced-N
+/// `BENCH_scale_smoke.json` (written by `SM_SCALE_ARRIVALS` runs, e.g. the
+/// CI smoke step). Every case line must carry every schema field with a
+/// parseable, non-negative value and a known engine tag.
+fn assert_scale_snapshot_schema(json: &str, what: &str) {
+    for top in [
+        "\"bench\": \"scale\"",
+        "\"engine\": \"events\"",
+        "\"cases\"",
+    ] {
+        assert!(json.contains(top), "{what}: missing top-level {top}");
+    }
+    let cases = bench_case_lines(json);
     assert!(
-        piped_ms <= seq_ms,
-        "committed dynamic datapoint regressed: pipelined {piped_ms} ms > sequential {seq_ms} ms"
+        cases.len() >= 7,
+        "{what}: expected the three sim shapes plus four dynamic datapoints, got {}",
+        cases.len()
     );
-    // Identical workload ⇒ identical deterministic outputs.
-    assert_eq!(
-        json_number(piped, "total_units"),
-        json_number(seq, "total_units"),
-        "the two dynamic spines must report identical stream-minutes"
-    );
-    assert_eq!(
-        json_number(piped, "peak_streams"),
-        json_number(seq, "peak_streams"),
-        "the two dynamic spines must report identical peaks"
-    );
+    for line in cases {
+        assert!(line.contains("\"name\": \""), "{what}: unnamed case {line}");
+        for key in [
+            "arrivals",
+            "wall_ms",
+            "peak_streams",
+            "total_units",
+            "memo_hits",
+        ] {
+            let v = json_number(line, key);
+            assert!(
+                v.is_finite() && v >= 0.0,
+                "{what}: bad {key} in {line}: {v}"
+            );
+        }
+        assert!(
+            ["events", "pipelined", "sequential"]
+                .iter()
+                .any(|e| line.contains(&format!("\"engine\": \"{e}\""))),
+            "{what}: unknown engine tag in {line}"
+        );
+    }
+}
+
+#[test]
+fn bench_snapshots_match_the_documented_schema() {
+    assert_scale_snapshot_schema(&read("BENCH_scale.json"), "BENCH_scale.json");
+    assert_scale_snapshot_schema(&read("BENCH_scale_smoke.json"), "BENCH_scale_smoke.json");
 }
 
 #[test]

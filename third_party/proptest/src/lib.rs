@@ -15,7 +15,12 @@
 //! * **deterministic** — each test function derives its RNG seed from its
 //!   own name, so failures reproduce exactly across runs and platforms;
 //! * `prop_assert!`-family macros panic (like `assert!`) instead of
-//!   returning `Err`, which composes fine with bodies that `return Ok(())`.
+//!   returning `Err`, which composes fine with bodies that `return Ok(())`;
+//! * the **`SM_PROPTEST_CASES`** environment variable overrides every
+//!   test's case count at runtime (real proptest spells this
+//!   `PROPTEST_CASES`): CI raises the equivalence gates' depth without
+//!   changing local defaults. Unset, empty, zero, or unparsable values
+//!   fall back to the configured count.
 
 pub mod strategy {
     //! The [`Strategy`] trait and combinators.
@@ -288,6 +293,43 @@ pub mod test_runner {
     #[derive(Debug)]
     pub struct Reject;
 
+    /// The effective case count for one `proptest!` test function: the
+    /// `SM_PROPTEST_CASES` environment variable, when set to a positive
+    /// integer, overrides `default_cases` (whatever the block's
+    /// `ProptestConfig` configured). CI uses this to deepen the
+    /// equivalence gates without slowing local `cargo test` runs.
+    pub fn resolve_cases(default_cases: u32) -> u32 {
+        match ::std::env::var("SM_PROPTEST_CASES") {
+            Ok(raw) => cases_override(&raw, default_cases),
+            Err(_) => default_cases,
+        }
+    }
+
+    /// Pure core of [`resolve_cases`]: parses an override, falling back to
+    /// the default on empty, zero, or unparsable input.
+    fn cases_override(raw: &str, default_cases: u32) -> u32 {
+        raw.trim()
+            .parse::<u32>()
+            .ok()
+            .filter(|&n| n > 0)
+            .unwrap_or(default_cases)
+    }
+
+    #[cfg(test)]
+    mod tests {
+        use super::cases_override;
+
+        #[test]
+        fn override_parses_positive_integers_and_rejects_the_rest() {
+            assert_eq!(cases_override("128", 32), 128);
+            assert_eq!(cases_override(" 7 ", 32), 7, "whitespace is trimmed");
+            assert_eq!(cases_override("0", 32), 32, "zero cases would test nothing");
+            assert_eq!(cases_override("", 32), 32);
+            assert_eq!(cases_override("lots", 32), 32);
+            assert_eq!(cases_override("-4", 32), 32);
+        }
+    }
+
     /// Deterministic SplitMix64 stream seeded from the test's name.
     #[derive(Debug, Clone)]
     pub struct TestRng {
@@ -391,10 +433,11 @@ macro_rules! __proptest_fns {
         $(#[$meta])*
         fn $name() {
             let config: $crate::test_runner::ProptestConfig = $cfg;
+            let cases = $crate::test_runner::resolve_cases(config.cases);
             let mut rng = $crate::test_runner::TestRng::from_name(concat!(
                 ::std::module_path!(), "::", stringify!($name)
             ));
-            for _case in 0..config.cases {
+            for _case in 0..cases {
                 $(let $pat = $crate::strategy::Strategy::generate(&($strat), &mut rng);)+
                 #[allow(clippy::redundant_closure_call)]
                 let _: ::std::result::Result<(), $crate::test_runner::Reject> =
