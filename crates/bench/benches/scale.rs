@@ -19,7 +19,14 @@
 //!   arrivals batched into star trees — one full stream per occupied slot,
 //!   spike clients riding the batch.
 //!
-//! A fourth case drives the many-epoch dynamic server: the sequential
+//! A `serve_incremental` case replays the Delay Guaranteed grid through
+//! the push-based incremental engine ([`sm_sim::simulate_incremental`]):
+//! the run must be bit-identical to the events engine, and its amortized
+//! `ns_per_arrival` (recorded in the JSON next to the engine's
+//! `max_open_trees` retention gauge) is CI-gated to within 1.5× of the
+//! batch baseline.
+//!
+//! A further case drives the many-epoch dynamic server: the sequential
 //! reference spine plus the depth-K plan-ahead pipeline at K ∈ {1, 2, 4},
 //! with the K ≥ 2 runs sharing a cross-epoch `PlannerMemo` whose hit count
 //! lands in the JSON (`memo_hits`).
@@ -37,7 +44,7 @@ use sm_server::{
     plan_weighted, simulate_dynamic, simulate_dynamic_sequential, simulate_dynamic_with, Catalog,
     DynamicConfig, Epoch, PlannerMemo,
 };
-use sm_sim::{simulate_streaming, SimConfig, StreamingSummary};
+use sm_sim::{simulate_incremental, simulate_streaming_slice, SimConfig, StreamingSummary};
 use sm_workload::{deep_chain_forest, ArrivalProcess, FlashCrowd};
 use std::hint::black_box;
 use std::time::Instant;
@@ -75,8 +82,8 @@ fn batched_star_forest(slots: &[i64]) -> (MergeForest, Vec<i64>) {
 /// One measured scale datapoint for `BENCH_scale.json`.
 struct CaseResult {
     name: String,
-    /// Execution spine: `"events"` for the simulator cases, `"pipelined"` /
-    /// `"sequential"` for the dynamic-server cases.
+    /// Execution spine: `"events"` / `"incremental"` for the simulator
+    /// cases, `"pipelined"` / `"sequential"` for the dynamic-server cases.
     engine: &'static str,
     /// Client arrivals for the simulator cases; *epochs* for the
     /// dynamic-server cases (see ARCHITECTURE.md for the schema).
@@ -88,6 +95,9 @@ struct CaseResult {
     /// greedy lookups included — see the ARCHITECTURE.md schema note): 0
     /// for the simulator cases and every memo-free dynamic configuration.
     memo_hits: u64,
+    /// High-water mark of simultaneously retained merge trees: the
+    /// incremental engine's memory gauge, 0 for every other spine.
+    max_open_trees: usize,
 }
 
 /// One dedicated timed streaming run (outside the criterion sampling),
@@ -100,11 +110,12 @@ fn timed_case(
 ) -> (CaseResult, StreamingSummary) {
     let t0 = Instant::now();
     let mut served = 0usize;
-    let summary = simulate_streaming(forest, times, media_len, SimConfig::events(), |report| {
-        served += 1;
-        black_box(report.max_buffer);
-    })
-    .expect("scale shapes must execute");
+    let summary =
+        simulate_streaming_slice(forest, times, media_len, SimConfig::events(), |report| {
+            served += 1;
+            black_box(report.max_buffer);
+        })
+        .expect("scale shapes must execute");
     let wall_ms = t0.elapsed().as_secs_f64() * 1e3;
     assert_eq!(served, times.len());
     (
@@ -116,6 +127,7 @@ fn timed_case(
             peak_streams: summary.bandwidth.peak(),
             total_units: summary.total_units,
             memo_hits: 0,
+            max_open_trees: 0,
         },
         summary,
     )
@@ -169,7 +181,8 @@ fn write_bench_json(results: &[CaseResult]) {
         out.push_str(&format!(
             "    {{\"name\": \"{}\", \"arrivals\": {}, \"engine\": \"{}\", \
              \"wall_ms\": {:.3}, \"peak_streams\": {}, \"total_units\": {}, \
-             \"memo_hits\": {}}}{}\n",
+             \"memo_hits\": {}, \"ns_per_arrival\": {:.1}, \
+             \"max_open_trees\": {}}}{}\n",
             r.name,
             r.arrivals,
             r.engine,
@@ -177,6 +190,8 @@ fn write_bench_json(results: &[CaseResult]) {
             r.peak_streams,
             r.total_units,
             r.memo_hits,
+            r.wall_ms * 1e6 / r.arrivals.max(1) as f64,
+            r.max_open_trees,
             if i + 1 < results.len() { "," } else { "" }
         ));
     }
@@ -198,7 +213,7 @@ fn bench_scale(c: &mut Criterion) {
     let alg = DelayGuaranteedOnline::new(media_len);
     let forest = alg.forest_after(n);
     let times = consecutive_slots(n);
-    let (dg_case, _) = timed_case(
+    let (dg_case, dg_summary) = timed_case(
         format!("events_dg_L{media_len}"),
         &forest,
         &times,
@@ -207,7 +222,7 @@ fn bench_scale(c: &mut Criterion) {
     g.bench_function(format!("events_dg_L{media_len}_n{n}"), |b| {
         b.iter(|| {
             let mut served = 0usize;
-            let summary = simulate_streaming(
+            let summary = simulate_streaming_slice(
                 black_box(&forest),
                 black_box(&times),
                 media_len,
@@ -220,6 +235,62 @@ fn bench_scale(c: &mut Criterion) {
             .expect("DG plan must execute");
             assert_eq!(served, n);
             black_box(summary.total_units)
+        })
+    });
+
+    // The push-based incremental engine ingests the identical grid one
+    // arrival at a time. Two properties are load-bearing (CI gates the
+    // smoke JSON on both): the run is bit-identical to the batch events
+    // engine, and the amortized ingest cost (`ns_per_arrival`) stays
+    // within 1.5x of it — push-based serving must not tax throughput.
+    let t0 = Instant::now();
+    let mut served = 0usize;
+    let inc = simulate_incremental(&forest, &times, media_len, SimConfig::events(), |report| {
+        served += 1;
+        black_box(report.max_buffer);
+    })
+    .expect("DG plan must ingest");
+    let inc_ms = t0.elapsed().as_secs_f64() * 1e3;
+    assert_eq!(served, n);
+    assert_eq!(
+        inc.summary, dg_summary,
+        "incremental ingest must be bit-identical to the events engine"
+    );
+    println!(
+        "bench: scale/serve_incremental vs events wall-time ratio: {:.2}x \
+         ({:.1} ms vs {:.1} ms at n = {}, {} trees retained at peak)",
+        inc_ms / dg_case.wall_ms.max(1e-9),
+        inc_ms,
+        dg_case.wall_ms,
+        n,
+        inc.max_open_trees
+    );
+    results.push(CaseResult {
+        name: format!("serve_incremental_L{media_len}"),
+        engine: "incremental",
+        arrivals: n,
+        wall_ms: inc_ms,
+        peak_streams: inc.summary.bandwidth.peak(),
+        total_units: inc.summary.total_units,
+        memo_hits: 0,
+        max_open_trees: inc.max_open_trees,
+    });
+    g.bench_function(format!("serve_incremental_L{media_len}_n{n}"), |b| {
+        b.iter(|| {
+            let mut served = 0usize;
+            let inc = simulate_incremental(
+                black_box(&forest),
+                black_box(&times),
+                media_len,
+                SimConfig::events(),
+                |report| {
+                    served += 1;
+                    black_box(report.max_buffer);
+                },
+            )
+            .expect("DG plan must ingest");
+            assert_eq!(served, n);
+            black_box(inc.summary.total_units)
         })
     });
     drop((forest, times));
@@ -237,7 +308,7 @@ fn bench_scale(c: &mut Criterion) {
     g.bench_function(format!("events_deep_chain_L{media_len}_n{n}"), |b| {
         b.iter(|| {
             let mut served = 0usize;
-            let summary = simulate_streaming(
+            let summary = simulate_streaming_slice(
                 black_box(&forest),
                 black_box(&times),
                 media_len,
@@ -284,7 +355,7 @@ fn bench_scale(c: &mut Criterion) {
     g.bench_function(format!("events_flash_crowd_L{media_len}_n{clients}"), |b| {
         b.iter(|| {
             let mut served = 0usize;
-            let summary = simulate_streaming(
+            let summary = simulate_streaming_slice(
                 black_box(&forest),
                 black_box(&times),
                 media_len,
@@ -329,6 +400,7 @@ fn bench_scale(c: &mut Criterion) {
         peak_streams: seq.peak as u32,
         total_units: dynamic_units,
         memo_hits: 0,
+        max_open_trees: 0,
     });
     for plan_ahead in [1usize, 2, 4] {
         let memo = (plan_ahead > 1).then(PlannerMemo::new);
@@ -363,6 +435,7 @@ fn bench_scale(c: &mut Criterion) {
             peak_streams: piped.peak as u32,
             total_units: dynamic_units,
             memo_hits,
+            max_open_trees: 0,
         });
         g.bench_function(
             format!("server_dynamic_pipelined_E{epoch_count}_k{plan_ahead}"),

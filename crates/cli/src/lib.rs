@@ -13,6 +13,8 @@
 //! smctl online <L> <horizon>  on-line DG cost vs the off-line optimum
 //! smctl broadcast <L> <D>     static broadcasting schemes for delay D
 //! smctl server <k> <budget>   per-title delays for a Zipf catalog
+//! smctl serve <L> <horizon> <mean> [licenses]
+//!                             live push-based serving run with admission
 //! ```
 
 use std::fmt;
@@ -59,6 +61,10 @@ COMMANDS
   online <L> <horizon>   on-line Delay Guaranteed cost vs off-line optimum
   broadcast <L> <D>      static broadcasting schemes at delay D (D | L)
   server <k> <budget>    per-title delay plan for a k-title Zipf catalog
+  serve <L> <horizon> <mean> [licenses]
+                         live serving run: Poisson arrivals with mean gap
+                         <mean> ingested arrival-at-a-time, optionally
+                         admission-capped at <licenses> live full streams
   policies <L> <lambda>  on-line policy costs at inter-arrival gap lambda
                          (as % of the media length, constant-rate arrivals)
   client <scheme> <L> <D> <t>
@@ -140,6 +146,16 @@ pub fn run(args: &[String]) -> Result<String, CliError> {
                 "budget",
             )?;
             Ok(render::server(k as usize, b))
+        }
+        Some("serve") => {
+            let l = positive(parse(required(&mut it, "L")?, "a positive integer")?, "L")?;
+            let horizon: f64 = parse(required(&mut it, "horizon")?, "a positive number")?;
+            let mean: f64 = parse(required(&mut it, "mean")?, "a positive number")?;
+            let cap = it
+                .next()
+                .map(|s| parse::<usize>(s, "a non-negative integer"))
+                .transpose()?;
+            render::serve(l, horizon, mean, cap)
         }
         Some("policies") => {
             let l = positive(parse(required(&mut it, "L")?, "a positive integer")?, "L")?;
@@ -310,6 +326,26 @@ mod tests {
         }
         assert!(matches!(
             run_args(&["policies", "50", "-1"]),
+            Err(CliError::BadArgument { .. })
+        ));
+    }
+
+    #[test]
+    fn serve_reports_admission_and_latency() {
+        let out = run_args(&["serve", "32", "300", "2"]).unwrap();
+        assert!(out.contains("admitted"), "{out}");
+        assert!(out.contains("0 declined"), "{out}");
+        assert!(out.contains("push latency"), "{out}");
+
+        let capped = run_args(&["serve", "32", "300", "1", "1"]).unwrap();
+        assert!(capped.contains("channel licenses: 1"), "{capped}");
+
+        assert!(matches!(
+            run_args(&["serve", "32", "0", "2"]),
+            Err(CliError::BadArgument { .. })
+        ));
+        assert!(matches!(
+            run_args(&["serve", "32", "300"]),
             Err(CliError::BadArgument { .. })
         ));
     }

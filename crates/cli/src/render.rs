@@ -220,6 +220,58 @@ pub fn server(titles: usize, budget: u64) -> String {
     }
 }
 
+/// `smctl serve <L> <horizon> <mean> [licenses]` — a live serving run.
+pub fn serve(
+    media_len: u64,
+    horizon: f64,
+    mean_interarrival: f64,
+    max_active: Option<usize>,
+) -> Result<String, CliError> {
+    let config = sm_serve::ServeConfig {
+        max_active,
+        ..sm_serve::ServeConfig::new(media_len, horizon, mean_interarrival)
+    };
+    let report = sm_serve::serve(&config).map_err(|e| CliError::BadArgument {
+        arg: format!("{media_len} {horizon} {mean_interarrival}"),
+        reason: e.to_string(),
+    })?;
+    let mut out = format!(
+        "live serve: L = {media_len} slots, horizon = {horizon}, Poisson mean gap = {mean_interarrival}\n"
+    );
+    if let Some(cap) = max_active {
+        let _ = writeln!(out, "  channel licenses: {cap}");
+    }
+    let s = &report.summary.summary;
+    let _ = writeln!(
+        out,
+        "  arrivals: {} generated, {} admitted, {} declined",
+        report.generated, report.admitted, report.rejected
+    );
+    if s.bandwidth.is_empty() {
+        let _ = writeln!(out, "  transmitted: nothing (no admitted traffic)");
+    } else {
+        let _ = writeln!(
+            out,
+            "  transmitted: {} slot-units, peak bandwidth {} streams, average {:.3}",
+            s.total_units,
+            s.bandwidth.peak(),
+            s.bandwidth.average()
+        );
+    }
+    let _ = writeln!(
+        out,
+        "  retention: at most {} merge trees live at once",
+        report.summary.max_open_trees
+    );
+    let l = report.latency;
+    let _ = write!(
+        out,
+        "  push latency: p50 {} ns, p90 {} ns, p99 {} ns, max {} ns, mean {} ns",
+        l.p50_ns, l.p90_ns, l.p99_ns, l.max_ns, l.mean_ns
+    );
+    Ok(out)
+}
+
 /// `smctl client <scheme> <L> <D> <arrival>` — the reception schedule of
 /// one broadcast client.
 pub fn broadcast_client(

@@ -221,6 +221,34 @@ impl MergeTree {
         Self::from_parents(&parents).expect("grafting preserves validity")
     }
 
+    /// Appends the next arrival (label [`Self::len`]) as the new *last
+    /// child* of `parent`, maintaining sibling order and last-descendant
+    /// labels incrementally — the arrival-at-a-time mirror of
+    /// [`Self::from_parents`], in `O(depth(parent))` instead of `O(n)`.
+    ///
+    /// The new node carries the largest label, so it becomes `z(x)` for
+    /// every ancestor `x` — exactly the update the incremental engines
+    /// lean on when they extend tentative stream lengths.
+    pub fn push_arrival(&mut self, parent: usize) -> Result<usize, ModelError> {
+        let node = self.len();
+        if parent >= node {
+            return Err(ModelError::ParentNotEarlier { node, parent });
+        }
+        self.parent.push(parent as u32);
+        self.children.push(Vec::new());
+        self.children[parent].push(node as u32);
+        self.last_descendant.push(node as u32);
+        let mut cur = parent;
+        loop {
+            self.last_descendant[cur] = node as u32;
+            match self.parent(cur) {
+                Some(p) => cur = p,
+                None => break,
+            }
+        }
+        Ok(node)
+    }
+
     /// Compact single-line rendering, e.g. `(0 (1) (2 (3)))`.
     pub fn to_sexpr(&self) -> String {
         fn go(tree: &MergeTree, node: usize, out: &mut String) {
@@ -376,5 +404,36 @@ mod tests {
         assert_eq!(t.depth(1), 1);
         assert_eq!(t.depth(4), 2);
         assert_eq!(t.height(), 2);
+    }
+
+    #[test]
+    fn push_arrival_grows_fig4_incrementally() {
+        let mut t = MergeTree::singleton();
+        for p in [0usize, 0, 0, 3, 0, 5, 5] {
+            t.push_arrival(p).unwrap();
+        }
+        assert_eq!(t, fig4_tree());
+        // Every intermediate prefix is the truncated batch tree.
+        let parents = fig4_tree().to_parents();
+        let mut grown = MergeTree::singleton();
+        for i in 1..parents.len() {
+            grown.push_arrival(parents[i].unwrap()).unwrap();
+            assert_eq!(grown, MergeTree::from_parents(&parents[..=i]).unwrap());
+        }
+    }
+
+    #[test]
+    fn push_arrival_rejects_future_parents() {
+        let mut t = MergeTree::singleton();
+        assert_eq!(
+            t.push_arrival(1).unwrap_err(),
+            ModelError::ParentNotEarlier { node: 1, parent: 1 }
+        );
+        assert_eq!(
+            t.push_arrival(7).unwrap_err(),
+            ModelError::ParentNotEarlier { node: 1, parent: 7 }
+        );
+        // The tree is unchanged after a rejected push.
+        assert_eq!(t, MergeTree::singleton());
     }
 }

@@ -35,17 +35,17 @@ pub fn steady_state_bandwidth(media_len: u64) -> SteadyStateBandwidth {
     // Warm-up: streams live at a slot start as much as L slots earlier, so
     // one media length of margin on each side suffices.
     let periods_needed = media_len.div_ceil(period) + 2;
-    let n = ((2 * periods_needed + 2) * period) as usize;
+    let n = crate::cast::index_to_usize((2 * periods_needed + 2) * period);
     let forest = alg.forest_after(n);
     let times = consecutive_slots(n);
     let specs = stream_schedule(&forest, &times, media_len).expect("slot-scale media length");
     let profile = BandwidthProfile::from_streams(&specs);
     // Interior window: skip L slots at the front, L + period at the back.
-    let lo = profile.origin() + media_len as i64;
-    let hi = profile.end() - (media_len + period) as i64;
+    let lo = profile.origin() + crate::cast::slots_i64(media_len);
+    let hi = profile.end() - crate::cast::slots_i64(media_len + period);
     let window = profile.window(lo, hi);
     assert!(
-        window.len() >= period as usize,
+        window.len() >= crate::cast::index_to_usize(period),
         "window must cover at least one period"
     );
     let peak = window.iter().copied().max().unwrap_or(0);
@@ -71,6 +71,8 @@ impl MediaObject {
     /// Media length in slots for a given guaranteed delay, clamped to ≥ 1.
     pub fn media_len(&self, delay_minutes: f64) -> u64 {
         assert!(delay_minutes > 0.0);
+        // `f64 as u64` saturates (never wraps) and the ratio of two positive
+        // durations is nonnegative, so the clamp to ≥ 1 is the only edge.
         ((self.duration_minutes / delay_minutes).round() as u64).max(1)
     }
 }

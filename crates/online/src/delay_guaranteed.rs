@@ -14,6 +14,9 @@ use sm_core::{consecutive_slots, merge_cost, MergeForest, MergeTree, ReceivingPr
 use sm_offline::closed_form::ClosedForm;
 use sm_offline::tree_builder::optimal_merge_tree_with;
 
+use crate::cast::{index_to_usize, nonneg_cost};
+use crate::incremental::{ForestBuilder, MergeDecision};
+
 /// The on-line delay-guaranteed server.
 ///
 /// Feed it slots (one per guaranteed-delay interval); query costs, receiving
@@ -69,18 +72,19 @@ impl DelayGuaranteedOnline {
     /// arrivals and every derived table.
     fn with_tree_size(media_len: u64, tree_size: u64) -> Self {
         let cf = ClosedForm::new();
-        let template = optimal_merge_tree_with(&cf, tree_size as usize);
-        let times = consecutive_slots(tree_size as usize);
-        let template_cost = merge_cost(&template, &times) as u64;
-        let mut prefix_costs = Vec::with_capacity(tree_size as usize + 1);
+        let size = index_to_usize(tree_size);
+        let template = optimal_merge_tree_with(&cf, size);
+        let times = consecutive_slots(size);
+        let template_cost = nonneg_cost(merge_cost(&template, &times));
+        let mut prefix_costs = Vec::with_capacity(size + 1);
         prefix_costs.push(0);
         let parents = template.to_parents();
-        for i in 1..=tree_size as usize {
+        for i in 1..=size {
             let truncated = MergeTree::from_parents(&parents[..i])
                 .expect("prefix of a merge tree is a merge tree");
-            prefix_costs.push(merge_cost(&truncated, &consecutive_slots(i)) as u64);
+            prefix_costs.push(nonneg_cost(merge_cost(&truncated, &consecutive_slots(i))));
         }
-        let programs = (0..tree_size as usize)
+        let programs = (0..size)
             .map(|c| ReceivingProgram::build(&template, &times, media_len, c))
             .collect();
         Self {
@@ -119,12 +123,27 @@ impl DelayGuaranteedOnline {
     /// Placement of slot `t` (independent of how many slots were fed).
     pub fn placement(&self, slot: u64) -> SlotPlacement<'_> {
         let tree_index = slot / self.tree_size;
-        let position = (slot % self.tree_size) as usize;
+        let position = index_to_usize(slot % self.tree_size);
         SlotPlacement {
             tree_index,
             position,
             is_full_stream: position == 0,
             program: &self.programs[position],
+        }
+    }
+
+    /// The [`MergeDecision`] the on-line algorithm commits to for slot `t`:
+    /// position 0 opens a fresh template instance, every other position
+    /// merges under the template parent shifted into instance `t / F_h`.
+    /// Pure (`&self`) — the stateful form is the crate's
+    /// [`IncrementalPolicy`](crate::incremental::IncrementalPolicy) `push`.
+    pub fn decision_at(&self, slot: u64) -> MergeDecision {
+        let p = self.placement(slot);
+        let base = index_to_usize(p.tree_index * self.tree_size);
+        MergeDecision {
+            node: index_to_usize(slot),
+            tree: index_to_usize(p.tree_index),
+            parent: self.template.parent(p.position).map(|lp| base + lp),
         }
     }
 
@@ -138,7 +157,7 @@ impl DelayGuaranteedOnline {
     /// `O(1)`.
     pub fn total_cost_after(&self, n: u64) -> u64 {
         let full = n / self.tree_size;
-        let rem = (n % self.tree_size) as usize;
+        let rem = index_to_usize(n % self.tree_size);
         let mut cost = full * (self.media_len + self.template_cost);
         if rem > 0 {
             cost += self.media_len + self.prefix_costs[rem];
@@ -152,21 +171,18 @@ impl DelayGuaranteedOnline {
     }
 
     /// Materializes the forest the algorithm has committed to after `n`
-    /// slots (full template trees plus a truncated final tree).
+    /// slots (full template trees plus a truncated final tree) — a fold of
+    /// [`Self::decision_at`] through a [`ForestBuilder`], so the batch view
+    /// is byte-for-byte what the arrival-at-a-time decision stream builds.
     pub fn forest_after(&self, n: usize) -> MergeForest {
         assert!(n >= 1);
-        let size = self.tree_size as usize;
-        let full = n / size;
-        let rem = n % size;
-        let mut trees = Vec::with_capacity(full + usize::from(rem > 0));
-        for _ in 0..full {
-            trees.push(self.template.clone());
+        let mut builder = ForestBuilder::new();
+        for slot in 0..n as u64 {
+            builder
+                .apply(&self.decision_at(slot))
+                .expect("template decisions are structurally valid");
         }
-        if rem > 0 {
-            let parents = self.template.to_parents();
-            trees.push(MergeTree::from_parents(&parents[..rem]).expect("prefix tree is valid"));
-        }
-        MergeForest::from_trees(trees).expect("n >= 1 yields a tree")
+        builder.finish().expect("n >= 1 opens a tree")
     }
 }
 

@@ -18,7 +18,9 @@
 //! The paper's §4.2 variant uses α = φ, with β = 0.5 for Poisson arrivals
 //! and `β = F_h / L` for constant-rate arrivals.
 
-use sm_core::{merge_cost, MergeForest, MergeTree};
+use sm_core::{merge_cost, MergeForest};
+
+use crate::incremental::{ForestBuilder, MergeDecision};
 
 /// Parameters of the (α,β)-dyadic algorithm.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -186,22 +188,28 @@ impl DyadicMerger {
         sub_end.max(t)
     }
 
-    /// The committed merge forest (so far) and the global arrival times.
+    /// Parent (global arrival index) committed for `node`; `None` for tree
+    /// roots. The decision read-back behind the crate's
+    /// [`IncrementalPolicy`](crate::incremental::IncrementalPolicy) impl.
+    pub fn parent_of(&self, node: usize) -> Option<usize> {
+        self.parents[node]
+    }
+
+    /// The committed merge forest (so far) and the global arrival times —
+    /// a fold of the recorded decision stream through a [`ForestBuilder`],
+    /// so the batch view is exactly what the arrival-at-a-time decisions
+    /// built.
     pub fn forest(&self) -> (MergeForest, Vec<f64>) {
         assert!(!self.times.is_empty(), "no arrivals processed");
-        let mut trees = Vec::with_capacity(self.tree_starts.len());
-        for (idx, &s) in self.tree_starts.iter().enumerate() {
-            let e = self
-                .tree_starts
-                .get(idx + 1)
-                .copied()
-                .unwrap_or(self.times.len());
-            let local: Vec<Option<usize>> =
-                (s..e).map(|g| self.parents[g].map(|p| p - s)).collect();
-            trees.push(MergeTree::from_parents(&local).expect("dyadic tree is valid"));
+        let mut builder = ForestBuilder::new();
+        for (node, &parent) in self.parents.iter().enumerate() {
+            let tree = builder.trees() - usize::from(parent.is_some());
+            builder
+                .apply(&MergeDecision { node, tree, parent })
+                .expect("dyadic decisions are structurally valid");
         }
         (
-            MergeForest::from_trees(trees).expect("at least one tree"),
+            builder.finish().expect("at least one tree"),
             self.times.clone(),
         )
     }

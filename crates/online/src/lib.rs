@@ -16,6 +16,10 @@
 //! * [`hierarchical`] — the greedy ERMT policy family of
 //!   Eager–Vernon–Zahorjan \[16\], benchmarked by the study \[4\] the paper's
 //!   §4.2 relies on.
+//! * [`incremental`] — the §4 algorithms as explicit arrival-at-a-time
+//!   state machines: `push(arrival) -> MergeDecision`, with the batch
+//!   reconstruction functions reimplemented as a fold over the decision
+//!   stream.
 //! * [`analysis`] — the competitive bounds of Theorems 21 and 22.
 //! * [`hybrid`] — the §5 hybrid server (DG under load, dyadic when idle).
 //! * [`capacity`] — steady-state peak bandwidth and the §5 multi-object
@@ -24,14 +28,17 @@
 pub mod analysis;
 pub mod batching;
 pub mod capacity;
+mod cast;
 pub mod delay_guaranteed;
 pub mod dyadic;
 pub mod hierarchical;
 pub mod hybrid;
+pub mod incremental;
 pub mod patching;
 
 pub use delay_guaranteed::DelayGuaranteedOnline;
 pub use dyadic::{DyadicConfig, DyadicMerger};
 pub use hierarchical::{HierarchicalMerger, MergePolicy};
 pub use hybrid::{HybridConfig, HybridServer};
+pub use incremental::{DecisionError, ForestBuilder, IncrementalPolicy, MergeDecision};
 pub use patching::{optimal_threshold, PatchingMerger};

@@ -1,0 +1,530 @@
+//! Long-running serving facade: a push-based ingest loop over the
+//! incremental engine.
+//!
+//! Where `sm-sim` answers "what does this forest cost?" for a workload
+//! that already happened, this crate runs the serving side as it would
+//! run in production: arrivals are *generated on a separate thread*,
+//! flow through the bounded [`sm_core::pipeline`] channel (so workload
+//! generation is backpressured by ingest, never the other way around),
+//! and hit the server one at a time. For each arrival, at traffic time,
+//! the loop
+//!
+//! 1. **admits or declines** it against the live channel gauge — the
+//!    number of full-length streams whose playback windows are still
+//!    open. With [`ServeConfig::max_active`] set, the server behaves
+//!    like the fixed-bandwidth server of the paper's §5: a client is
+//!    declined exactly when it cannot join the current slot's
+//!    already-admitted group and every channel license is busy;
+//! 2. asks the online **merge policy** (the dyadic merger with the
+//!    golden ratio α and β = ½, the paper's recommended configuration
+//!    for Poisson traffic) where the arrival merges;
+//! 3. **pushes** it into [`sm_sim::IncrementalEngine`], which maintains
+//!    open merge trees and the sparse bandwidth profile incrementally
+//!    and streams each [`ClientReport`] out the moment that client's
+//!    last part-deadline fires.
+//!
+//! Per-push wall-clock latency is recorded for every admitted arrival;
+//! the final [`ServeReport`] carries p50/p90/p99/max percentiles next to
+//! the engine's own [`IncrementalSummary`].
+//!
+//! Arrival times are continuous (Poisson) and are floored onto the
+//! integer slot grid the merge model works in; co-slot arrivals merge
+//! under the slot's first client as zero-length streams (they receive
+//! everything their parent receives), so the policy only ever sees
+//! strictly increasing distinct slots.
+//!
+//! ```
+//! use sm_serve::{serve, ServeConfig};
+//!
+//! let report = serve(&ServeConfig::new(64, 400.0, 2.0)).unwrap();
+//! assert_eq!(report.generated, report.admitted + report.rejected);
+//! assert_eq!(report.summary.summary.clients, report.admitted);
+//! ```
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+use std::fmt;
+use std::time::Instant;
+
+use sm_core::pipeline;
+use sm_online::{DyadicConfig, DyadicMerger, IncrementalPolicy};
+use sm_sim::{
+    Attach, ClientReport, IncrementalEngine, IncrementalSummary, IngestError, SimConfig, SimError,
+};
+use sm_workload::{ArrivalProcess, PoissonProcess};
+
+/// Largest accepted horizon: keeps `t.floor() as i64` exact (every f64
+/// below this is integer-representable in i64) and batch counts sane.
+const MAX_HORIZON: f64 = 1e15;
+
+/// Everything a serving run needs. All fields are public; start from
+/// [`ServeConfig::new`] and override what the scenario calls for.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ServeConfig {
+    /// Media length in slots (`L`); must be at least 1.
+    pub media_len: u64,
+    /// Traffic horizon in slots: arrivals are generated over `(0, horizon]`.
+    pub horizon: f64,
+    /// Mean inter-arrival gap of the Poisson workload, in slots.
+    pub mean_interarrival: f64,
+    /// Workload RNG seed; identical seeds replay identical traffic.
+    pub seed: u64,
+    /// Channel-license cap: decline a new slot's arrivals while this many
+    /// full streams have open playback windows. `None` admits everything.
+    pub max_active: Option<usize>,
+    /// Producer batch granularity in slots; each pipeline item carries the
+    /// arrivals of one such sub-horizon.
+    pub batch_slots: f64,
+    /// Backpressure depth of the generator→ingest channel (must be ≥ 1):
+    /// the producer runs at most this many batches ahead of ingest.
+    pub pipeline_depth: usize,
+    /// Optional per-client buffer bound, forwarded to the engine.
+    pub buffer_bound: Option<u64>,
+}
+
+impl ServeConfig {
+    /// A serving run over `(0, horizon]` with Poisson gaps of mean
+    /// `mean_interarrival`, unlimited admission, and default pipeline
+    /// granularity (256-slot batches, depth 4).
+    pub fn new(media_len: u64, horizon: f64, mean_interarrival: f64) -> Self {
+        Self {
+            media_len,
+            horizon,
+            mean_interarrival,
+            seed: 7,
+            max_active: None,
+            batch_slots: 256.0,
+            pipeline_depth: 4,
+            buffer_bound: None,
+        }
+    }
+
+    fn validate(&self) -> Result<(), ServeError> {
+        let bad = |field, reason| Err(ServeError::Config { field, reason });
+        if self.media_len == 0 {
+            return bad("media_len", "must be at least 1 slot");
+        }
+        if !(self.horizon > 0.0 && self.horizon <= MAX_HORIZON) {
+            return bad("horizon", "must be finite, positive, and at most 1e15");
+        }
+        if !(self.mean_interarrival > 0.0 && self.mean_interarrival.is_finite()) {
+            return bad("mean_interarrival", "must be finite and positive");
+        }
+        if !(self.batch_slots >= 1.0 && self.batch_slots.is_finite()) {
+            return bad("batch_slots", "must be finite and at least 1");
+        }
+        if self.pipeline_depth == 0 {
+            return bad("pipeline_depth", "must be at least 1");
+        }
+        Ok(())
+    }
+}
+
+/// Wall-clock ingest cost per admitted arrival, in nanoseconds.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct LatencyStats {
+    /// Median push latency.
+    pub p50_ns: u64,
+    /// 90th-percentile push latency.
+    pub p90_ns: u64,
+    /// 99th-percentile push latency.
+    pub p99_ns: u64,
+    /// Worst single push.
+    pub max_ns: u64,
+    /// Amortized mean — total ingest time over admitted arrivals.
+    pub mean_ns: u64,
+}
+
+impl LatencyStats {
+    /// Percentiles of a latency sample; all zeros on an empty sample.
+    fn from_samples(mut ns: Vec<u64>) -> Self {
+        if ns.is_empty() {
+            return Self::default();
+        }
+        ns.sort_unstable();
+        let at = |q: f64| {
+            let idx = ((ns.len() - 1) as f64 * q).round() as usize;
+            ns.get(idx).copied().unwrap_or(0)
+        };
+        let total: u64 = ns.iter().sum();
+        Self {
+            p50_ns: at(0.50),
+            p90_ns: at(0.90),
+            p99_ns: at(0.99),
+            max_ns: ns.last().copied().unwrap_or(0),
+            mean_ns: total / ns.len() as u64,
+        }
+    }
+}
+
+/// What a serving run did: admission counts, the engine's summary, and
+/// the ingest loop's own latency accounting.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ServeReport {
+    /// Arrivals the workload generator produced over the horizon.
+    pub generated: usize,
+    /// Arrivals admitted and served (`= summary.summary.clients`).
+    pub admitted: usize,
+    /// Arrivals declined at traffic time by the channel-license gauge.
+    pub rejected: usize,
+    /// The engine's whole-run aggregates, bit-identical to a batch
+    /// simulation of the same admitted forest.
+    pub summary: IncrementalSummary,
+    /// Per-push wall-clock percentiles over admitted arrivals.
+    pub latency: LatencyStats,
+}
+
+/// A serving run could not start or had to stop.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ServeError {
+    /// A [`ServeConfig`] field is out of range.
+    Config {
+        /// Which field.
+        field: &'static str,
+        /// What it must satisfy.
+        reason: &'static str,
+    },
+    /// The merge policy named a parent the loop never admitted — a policy
+    /// contract violation, never reachable with the built-in policies.
+    PolicyDesync {
+        /// Policy-local index of the arrival being placed.
+        node: usize,
+        /// The unknown parent it named.
+        parent: usize,
+    },
+    /// The engine rejected a push mid-run.
+    Ingest(IngestError),
+    /// The final drain hit a simulation-model violation.
+    Sim(SimError),
+}
+
+impl fmt::Display for ServeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::Config { field, reason } => write!(f, "invalid ServeConfig.{field}: {reason}"),
+            Self::PolicyDesync { node, parent } => {
+                write!(f, "policy placed node {node} under unknown parent {parent}")
+            }
+            Self::Ingest(e) => write!(f, "{e}"),
+            Self::Sim(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl std::error::Error for ServeError {}
+
+impl From<IngestError> for ServeError {
+    fn from(e: IngestError) -> Self {
+        Self::Ingest(e)
+    }
+}
+
+impl From<SimError> for ServeError {
+    fn from(e: SimError) -> Self {
+        Self::Sim(e)
+    }
+}
+
+/// Floors a continuous arrival time onto the slot grid. `t` is bounded
+/// by the validated horizon, so the saturating `as` cast is exact.
+fn slot_of(t: f64) -> i64 {
+    t.floor() as i64
+}
+
+/// Nanoseconds since `t0`, saturating instead of unwrapping on the
+/// (centuries-long) overflow path.
+fn elapsed_ns(t0: Instant) -> u64 {
+    u64::try_from(t0.elapsed().as_nanos()).unwrap_or(u64::MAX)
+}
+
+/// Runs a serving session, discarding per-client reports. See
+/// [`serve_with`] to observe them as they stream out.
+pub fn serve(config: &ServeConfig) -> Result<ServeReport, ServeError> {
+    serve_with(config, |_| {})
+}
+
+/// Runs a serving session end to end: generates the Poisson workload on
+/// a producer thread, ingests it arrival-at-a-time through admission,
+/// policy, and engine, and invokes `on_report` for every served client
+/// the moment its last part-deadline fires (emission order = arrival
+/// order). Returns the aggregate [`ServeReport`].
+pub fn serve_with<F>(config: &ServeConfig, mut on_report: F) -> Result<ServeReport, ServeError>
+where
+    F: FnMut(ClientReport),
+{
+    config.validate()?;
+    let media = config.media_len as i64;
+    let cap = config.max_active;
+    let n_batches = (config.horizon / config.batch_slots).ceil() as usize;
+    let (horizon, batch, mean, seed) = (
+        config.horizon,
+        config.batch_slots,
+        config.mean_interarrival,
+        config.seed,
+    );
+
+    let mut engine = IncrementalEngine::new(
+        config.media_len,
+        SimConfig {
+            buffer_bound: config.buffer_bound,
+            ..SimConfig::events()
+        },
+    )?;
+    let mut policy = DyadicMerger::new(DyadicConfig::golden_poisson(), config.media_len as f64);
+    // Policy-local node index -> engine-global index of that slot's head.
+    let mut slot_reps: Vec<usize> = Vec::new();
+    // Playback-window ends of admitted full streams, soonest first: the
+    // live channel gauge the admission decision reads.
+    let mut windows: BinaryHeap<Reverse<i64>> = BinaryHeap::new();
+    // Most recently admitted slot and its head's global index.
+    let mut cur: Option<(i64, usize)> = None;
+    let mut latencies: Vec<u64> = Vec::new();
+    let (mut generated, mut rejected) = (0usize, 0usize);
+
+    // Workload generation runs on the pipeline's producer thread, at most
+    // `pipeline_depth` batches ahead of ingest. Each batch is an
+    // independent Poisson segment over its sub-horizon; because the
+    // Poisson process has independent, memoryless increments, the
+    // concatenation is distributed exactly as one Poisson process over
+    // the whole horizon — and per-batch seeding keeps every batch a pure
+    // function of (seed, index).
+    pipeline(
+        n_batches,
+        config.pipeline_depth,
+        move |i| -> Result<Vec<f64>, ServeError> {
+            let offset = i as f64 * batch;
+            let span = (horizon - offset).min(batch);
+            let mut proc =
+                PoissonProcess::new(mean, seed ^ (i as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15));
+            Ok(proc.generate(span).iter().map(|t| offset + t).collect())
+        },
+        |_, arrivals| {
+            for t in arrivals {
+                generated += 1;
+                let slot = slot_of(t);
+                // Co-slot arrivals join the already-admitted group for
+                // free: a zero-length stream under the slot head.
+                if let Some((s, head)) = cur {
+                    if s == slot {
+                        let t0 = Instant::now();
+                        engine.push(slot, Attach::Under(head), &mut on_report)?;
+                        latencies.push(elapsed_ns(t0));
+                        continue;
+                    }
+                }
+                // New slot: retire expired playback windows, then read
+                // the license gauge. Both depend only on `slot`, so every
+                // arrival of one slot gets the same verdict.
+                while windows.peek().is_some_and(|&Reverse(end)| end <= slot) {
+                    windows.pop();
+                }
+                if cap.is_some_and(|c| windows.len() >= c) {
+                    rejected += 1;
+                    continue;
+                }
+                let decision = policy.push(slot as f64);
+                let attach = match decision.parent {
+                    None => {
+                        windows.push(Reverse(slot + media));
+                        Attach::Root
+                    }
+                    Some(p) => {
+                        Attach::Under(*slot_reps.get(p).ok_or(ServeError::PolicyDesync {
+                            node: decision.node,
+                            parent: p,
+                        })?)
+                    }
+                };
+                let global = engine.arrivals();
+                let t0 = Instant::now();
+                engine.push(slot, attach, &mut on_report)?;
+                latencies.push(elapsed_ns(t0));
+                slot_reps.push(global);
+                cur = Some((slot, global));
+            }
+            Ok(())
+        },
+    )?;
+
+    let summary = engine.finish(&mut on_report)?;
+    let admitted = generated - rejected;
+    debug_assert_eq!(summary.summary.clients, admitted);
+    Ok(ServeReport {
+        generated,
+        admitted,
+        rejected,
+        summary,
+        latency: LatencyStats::from_samples(latencies),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn open_admission_serves_every_arrival() {
+        let report = serve(&ServeConfig::new(64, 500.0, 2.0)).unwrap();
+        assert!(report.generated > 0, "a 500-slot horizon produces traffic");
+        assert_eq!(report.rejected, 0);
+        assert_eq!(report.admitted, report.generated);
+        assert_eq!(report.summary.summary.clients, report.admitted);
+        assert_eq!(
+            report.summary.summary.bandwidth.total_units(),
+            report.summary.summary.total_units
+        );
+        let l = report.latency;
+        assert!(l.p50_ns <= l.p90_ns && l.p90_ns <= l.p99_ns && l.p99_ns <= l.max_ns);
+        assert!(l.max_ns > 0, "pushes take measurable time");
+    }
+
+    #[test]
+    fn replays_are_deterministic_modulo_latency() {
+        let config = ServeConfig::new(32, 300.0, 1.5);
+        let a = serve(&config).unwrap();
+        let b = serve(&config).unwrap();
+        assert_eq!(a.generated, b.generated);
+        assert_eq!(a.rejected, b.rejected);
+        assert_eq!(a.summary, b.summary);
+    }
+
+    #[test]
+    fn seeds_change_the_workload() {
+        let base = ServeConfig::new(32, 400.0, 1.5);
+        let other = ServeConfig {
+            seed: base.seed + 1,
+            ..base.clone()
+        };
+        let a = serve(&base).unwrap();
+        let b = serve(&other).unwrap();
+        assert_ne!(
+            (a.generated, a.summary.summary.total_units),
+            (b.generated, b.summary.summary.total_units),
+            "different seeds should draw different traffic"
+        );
+    }
+
+    #[test]
+    fn single_license_declines_overflow_and_bounds_retention() {
+        // One channel license over dense traffic: most arrivals outside
+        // the current root's window must be declined, and at most two
+        // trees (the draining one and the live one) are ever retained.
+        let config = ServeConfig {
+            max_active: Some(1),
+            ..ServeConfig::new(40, 600.0, 1.0)
+        };
+        let report = serve(&config).unwrap();
+        assert!(report.admitted > 0);
+        assert!(
+            report.rejected > 0,
+            "dense traffic must overflow one license"
+        );
+        assert_eq!(report.admitted + report.rejected, report.generated);
+        assert_eq!(report.summary.summary.clients, report.admitted);
+        assert!(
+            report.summary.max_open_trees <= 2,
+            "one license keeps at most a draining tree plus the live one, got {}",
+            report.summary.max_open_trees
+        );
+    }
+
+    #[test]
+    fn zero_licenses_decline_everything() {
+        let config = ServeConfig {
+            max_active: Some(0),
+            ..ServeConfig::new(16, 200.0, 2.0)
+        };
+        let report = serve(&config).unwrap();
+        assert_eq!(report.admitted, 0);
+        assert!(report.rejected > 0);
+        assert_eq!(report.summary.summary.clients, 0);
+        assert_eq!(report.summary.summary.total_units, 0);
+        assert_eq!(report.latency, LatencyStats::default());
+    }
+
+    #[test]
+    fn reports_stream_out_in_arrival_order() {
+        let mut clients = Vec::new();
+        let report = serve_with(&ServeConfig::new(24, 250.0, 1.0), |r| {
+            clients.push(r.client);
+        })
+        .unwrap();
+        assert_eq!(clients.len(), report.admitted);
+        let in_order: Vec<usize> = (0..report.admitted).collect();
+        assert_eq!(
+            clients, in_order,
+            "slot times are sorted, so emission order is arrival order"
+        );
+    }
+
+    #[test]
+    fn pipeline_depth_does_not_change_the_traffic() {
+        // Depth only moves the backpressure point between generator and
+        // ingest; the drawn process and the served forest are identical.
+        let shallow = ServeConfig {
+            pipeline_depth: 1,
+            ..ServeConfig::new(32, 400.0, 2.0)
+        };
+        let deep = ServeConfig {
+            pipeline_depth: 8,
+            ..shallow.clone()
+        };
+        let a = serve(&shallow).unwrap();
+        let b = serve(&deep).unwrap();
+        assert_eq!(a.generated, b.generated);
+        assert_eq!(a.summary, b.summary);
+    }
+
+    #[test]
+    fn config_validation_names_the_offending_field() {
+        let cases: [(ServeConfig, &str); 5] = [
+            (ServeConfig::new(0, 100.0, 1.0), "media_len"),
+            (ServeConfig::new(8, 0.0, 1.0), "horizon"),
+            (ServeConfig::new(8, f64::INFINITY, 1.0), "horizon"),
+            (ServeConfig::new(8, 100.0, 0.0), "mean_interarrival"),
+            (
+                ServeConfig {
+                    pipeline_depth: 0,
+                    ..ServeConfig::new(8, 100.0, 1.0)
+                },
+                "pipeline_depth",
+            ),
+        ];
+        for (config, want) in cases {
+            match serve(&config) {
+                Err(ServeError::Config { field, .. }) => assert_eq!(field, want),
+                other => panic!("expected Config error for {want}, got {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn buffer_bound_is_forwarded_to_the_engine() {
+        // A zero client buffer makes any actual merge infeasible; dense
+        // traffic guarantees merges, so the run must fail with the
+        // engine's own typed error.
+        let config = ServeConfig {
+            buffer_bound: Some(0),
+            ..ServeConfig::new(32, 300.0, 1.0)
+        };
+        match serve(&config) {
+            Err(ServeError::Ingest(IngestError::Sim(SimError::BufferOverflow { .. })))
+            | Err(ServeError::Sim(SimError::BufferOverflow { .. })) => {}
+            other => panic!("expected BufferOverflow, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn display_formats_are_stable() {
+        let e = ServeError::Config {
+            field: "horizon",
+            reason: "must be finite, positive, and at most 1e15",
+        };
+        assert_eq!(
+            e.to_string(),
+            "invalid ServeConfig.horizon: must be finite, positive, and at most 1e15"
+        );
+        let d = ServeError::PolicyDesync { node: 4, parent: 9 };
+        assert_eq!(d.to_string(), "policy placed node 4 under unknown parent 9");
+    }
+}

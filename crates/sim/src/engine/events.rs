@@ -76,7 +76,7 @@ pub(super) fn run(
     config: SimConfig,
 ) -> Result<SimReport, SimError> {
     let mut clients = Vec::with_capacity(times.len());
-    match simulate_streaming(forest, times, media_len, config, |r| clients.push(r)) {
+    match simulate_streaming_slice(forest, times, media_len, config, |r| clients.push(r)) {
         Ok(summary) => {
             // Deadline order equals arrival-index order for sorted times;
             // sort to guarantee index order for the report regardless.
@@ -117,7 +117,26 @@ pub(super) fn run(
     }
 }
 
-/// Event-driven simulation with streaming per-client reports.
+/// One client arrival — the unit the streaming API ingests.
+///
+/// Thin today (a slot time), but a named type so arrival sources (slices,
+/// generators, sockets) and the engine agree on a vocabulary that can grow
+/// fields without breaking every `IntoIterator` in between.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Arrival {
+    /// Arrival slot.
+    pub time: i64,
+}
+
+impl From<i64> for Arrival {
+    fn from(time: i64) -> Self {
+        Self { time }
+    }
+}
+
+/// Event-driven simulation with streaming per-client reports, fed by any
+/// arrival source (`Vec`, generator adaptors, a live ingest queue — no
+/// pre-materialized slice required; `(0..n).map(Arrival::from)` works).
 ///
 /// `emit` is called once per client, in part-deadline order (`t_c + L`,
 /// ties by arrival index), as soon as the client's program completes —
@@ -134,12 +153,51 @@ pub(super) fn run(
 /// inputs (which take an eager, sort-based path) `simulate_with`
 /// additionally replays the checks in arrival order to keep its error
 /// identical to the dense engine's.
-pub fn simulate_streaming<F: FnMut(ClientReport)>(
+pub fn simulate_streaming<I, F>(
+    forest: &MergeForest,
+    arrivals: I,
+    media_len: u64,
+    config: SimConfig,
+    mut emit: F,
+) -> Result<StreamingSummary, SimError>
+where
+    I: IntoIterator<Item = Arrival>,
+    F: FnMut(ClientReport),
+{
+    // The schedule needs random access to root-path times, so the source
+    // is drained once into a times vector, checking sortedness on the fly
+    // (no second pass, no caller-side materialization contract).
+    let iter = arrivals.into_iter();
+    let mut times = Vec::with_capacity(iter.size_hint().0);
+    let mut sorted = true;
+    for arrival in iter {
+        sorted &= times.last().is_none_or(|&last| last <= arrival.time);
+        times.push(arrival.time);
+    }
+    dispatch(forest, &times, sorted, media_len, config, &mut emit)
+}
+
+/// The batch-slice form of [`simulate_streaming`]: zero-copy over an
+/// already-materialized times slice. Semantics are identical.
+pub fn simulate_streaming_slice<F: FnMut(ClientReport)>(
     forest: &MergeForest,
     times: &[i64],
     media_len: u64,
     config: SimConfig,
     mut emit: F,
+) -> Result<StreamingSummary, SimError> {
+    let sorted = times.windows(2).all(|w| w[0] <= w[1]);
+    dispatch(forest, times, sorted, media_len, config, &mut emit)
+}
+
+/// Shared tail of the two streaming entry points.
+fn dispatch<F: FnMut(ClientReport)>(
+    forest: &MergeForest,
+    times: &[i64],
+    sorted: bool,
+    media_len: u64,
+    config: SimConfig,
+    emit: &mut F,
 ) -> Result<StreamingSummary, SimError> {
     if times.len() != forest.total_arrivals() {
         return Err(SimError::Model(sm_core::ModelError::TimesLengthMismatch {
@@ -147,10 +205,10 @@ pub fn simulate_streaming<F: FnMut(ClientReport)>(
             times: times.len(),
         }));
     }
-    if times.windows(2).all(|w| w[0] <= w[1]) {
-        streaming_lazy(forest, times, media_len, config, &mut emit)
+    if sorted {
+        streaming_lazy(forest, times, media_len, config, emit)
     } else {
-        streaming_eager(forest, times, media_len, config, &mut emit)
+        streaming_eager(forest, times, media_len, config, emit)
     }
 }
 
@@ -444,8 +502,11 @@ fn streaming_eager<F: FnMut(ClientReport)>(
 
 /// Reusable per-client evaluation buffers: one allocation set for a whole
 /// run instead of one per client (the constant factor that used to keep
-/// deep-chain programs far slower than balanced ones).
-struct EvalScratch {
+/// deep-chain programs far slower than balanced ones). Shared with the
+/// push-based [`super::incremental`] engine so both evaluate clients with
+/// the very same code path.
+#[derive(Debug)]
+pub(super) struct EvalScratch {
     /// Receiving program, rebuilt in place per client.
     prog: ReceivingProgram,
     /// Inclusive receive-slot interval of each non-empty segment.
@@ -591,9 +652,11 @@ fn max_buffer_sweep(scratch: &EvalScratch, t_c: i64, media: i64) -> i64 {
 }
 
 /// Checks one client's program against its tree's schedule and measures it,
-/// in `O(segments log segments)` arithmetic — no per-slot state.
+/// in `O(segments log segments)` arithmetic — no per-slot state. Also the
+/// evaluator of the push-based [`super::incremental`] engine (same code
+/// path, so the two engines cannot drift apart on per-client semantics).
 #[allow(clippy::too_many_arguments)] // tree-local slices + scratch, all hot
-fn eval_client(
+pub(super) fn eval_client(
     tree: &MergeTree,
     local_times: &[i64],
     local_specs: &[StreamSpec],
@@ -807,7 +870,7 @@ mod tests {
         let forest = MergeForest::from_trees(trees).unwrap();
         let times: Vec<i64> = (0..n as i64).map(|i| i * 100).collect();
         let mut served = 0usize;
-        let summary = simulate_streaming(&forest, &times, media, SimConfig::events(), |r| {
+        let summary = simulate_streaming_slice(&forest, &times, media, SimConfig::events(), |r| {
             assert_eq!(r.client, served, "deadline order is arrival order");
             served += 1;
         })
@@ -826,9 +889,14 @@ mod tests {
         let forest = MergeForest::single(MergeTree::chain(c));
         let times = consecutive_slots(c);
         let mut reports = Vec::new();
-        let summary = simulate_streaming(&forest, &times, media, SimConfig::events(), |r| {
-            reports.push(r)
-        })
+        // The iterator entry point, exercised over a generator source.
+        let summary = simulate_streaming(
+            &forest,
+            times.iter().copied().map(Arrival::from),
+            media,
+            SimConfig::events(),
+            |r| reports.push(r),
+        )
         .unwrap();
         assert_eq!(reports.len(), c);
         assert_eq!(

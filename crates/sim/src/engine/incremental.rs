@@ -1,0 +1,626 @@
+//! The push-based serving engine: arrivals are *ingested* one at a time.
+//!
+//! The batch engines ([`dense`](super::dense), [`events`](super::events))
+//! need the whole `(forest, times)` pair up front. A serving loop has
+//! neither: clients show up one by one, the merge policy commits each one
+//! at traffic time, and reports must flow out while the horizon is still
+//! growing. [`IncrementalEngine`] is the event engine refactored around
+//! that ingest direction:
+//!
+//! * **one open tree** — arrivals attach to the most recently opened tree
+//!   (the model's invariant: merging across closed trees is impossible
+//!   because their streams have already begun). The open tree is a
+//!   [`MergeTree`] grown in place by `push_arrival` plus a vector of
+//!   *tentative* Lemma-1 stream specs: attaching `y` under `p` makes `y`
+//!   the last descendant of its entire root path, so exactly the nodes on
+//!   that path update, to `ℓ(x) = (t_y − t_x) + (t_y − t_{p(x)})` —
+//!   `O(depth)` per arrival, no re-derivation from the prefix;
+//! * **deadlines fire during ingest** — a client's report depends only on
+//!   its root-path arrival times and on spec fields that later arrivals
+//!   can only *grow* past its demands (`t_z ≥ t_c` for every later
+//!   descendant), so each report is final the moment the client's last
+//!   part-deadline `t_c + L` falls strictly before the ingest clock.
+//!   Reports stream out through `emit` in deadline order (ties by arrival
+//!   index) — exactly the order and values of
+//!   [`simulate_streaming`](super::events::simulate_streaming), including
+//!   which error fires first;
+//! * **bandwidth change-points finalize at tree closure** — a stream's end
+//!   moves later while descendants can still attach (a tied co-arrival
+//!   even gains its start retroactively), so a tree contributes its
+//!   `(start, ±1)` events to a global min-heap only when a new root
+//!   closes it. All future events then lie at or past the closing root's
+//!   arrival, so the heap drains strictly below it into the same sparse
+//!   `ProfileBuilder` sweep the event engine uses. Heap and retention
+//!   are `O(open trees + active streams)`, never `O(arrivals)`;
+//! * **time travel is rejected, interleaving is not** — `push` accepts any
+//!   nondecreasing time sequence (ties included) and fails fast with
+//!   [`IngestError::OutOfOrder`] otherwise, leaving the engine untouched.
+//!
+//! The `engine_equivalence` proptest suite pins this engine bit-identical
+//! (reports, emission order, summary, first error) to the event engine on
+//! every sorted input.
+
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, VecDeque};
+
+use super::events::{eval_client, EvalScratch, StreamingSummary};
+use super::{ClientReport, SimConfig};
+use crate::error::SimError;
+use crate::metrics::ProfileBuilder;
+use crate::schedule::{checked_media_len, StreamSpec};
+use sm_core::{MergeForest, MergeTree, ModelError};
+
+/// Where one ingested arrival goes, structurally.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Attach {
+    /// Open a new tree with this arrival as its root (a full stream);
+    /// closes the previously open tree.
+    Root,
+    /// Merge under the arrival with this *global* index, which must lie in
+    /// the currently open tree.
+    Under(usize),
+}
+
+/// An ingest call was rejected.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum IngestError {
+    /// A simulation-model violation (same errors, same precedence, as the
+    /// batch engines).
+    Sim(SimError),
+    /// The arrival time moved backwards; the serving clock only advances.
+    OutOfOrder {
+        /// The offending push time.
+        time: i64,
+        /// The latest time already ingested.
+        last: i64,
+    },
+    /// An [`Attach::Under`] named a parent outside the currently open tree
+    /// (or no tree was open at all).
+    ParentNotOpen {
+        /// Global index the rejected arrival would have received.
+        node: usize,
+        /// The out-of-range parent it named.
+        parent: usize,
+    },
+}
+
+impl std::fmt::Display for IngestError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Self::Sim(e) => write!(f, "{e}"),
+            Self::OutOfOrder { time, last } => {
+                write!(f, "arrival at {time} pushed after the clock reached {last}")
+            }
+            Self::ParentNotOpen { node, parent } => write!(
+                f,
+                "arrival {node} merges under {parent}, which is not in the open tree"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for IngestError {}
+
+impl From<SimError> for IngestError {
+    fn from(e: SimError) -> Self {
+        Self::Sim(e)
+    }
+}
+
+/// Whole-run aggregates of an ingest run: the batch
+/// [`StreamingSummary`] plus the ingest loop's own memory gauge.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct IncrementalSummary {
+    /// Bit-identical to what [`super::events::simulate_streaming`] returns
+    /// for the same arrivals.
+    pub summary: StreamingSummary,
+    /// High-water mark of simultaneously retained trees (the open tree
+    /// plus closed trees with clients still inside their playback
+    /// windows) — the `O(open trees)` claim, measured.
+    pub max_open_trees: usize,
+}
+
+/// The tree currently accepting arrivals.
+#[derive(Debug)]
+struct OpenTree {
+    /// Global index of the root.
+    base: usize,
+    tree: MergeTree,
+    times: Vec<i64>,
+    /// Tentative Lemma-1 specs: exact for the tree as grown so far; only
+    /// root-path entries of future arrivals can still grow.
+    specs: Vec<StreamSpec>,
+}
+
+impl OpenTree {
+    fn new(base: usize, time: i64, media: i64) -> Self {
+        Self {
+            base,
+            tree: MergeTree::singleton(),
+            times: vec![time],
+            specs: vec![StreamSpec {
+                node: base,
+                start: time,
+                length: media,
+            }],
+        }
+    }
+
+    /// Attaches an arrival at `time` under local node `parent`, updating
+    /// the tentative lengths of exactly the new node's root path.
+    fn attach(&mut self, time: i64, parent: usize) -> Result<(), ModelError> {
+        let x = self.tree.push_arrival(parent)?;
+        self.times.push(time);
+        // The new node is its own last descendant: ℓ = t_y − t_p.
+        self.specs.push(StreamSpec {
+            node: self.base + x,
+            start: time,
+            length: time - self.times[parent],
+        });
+        // …and the new last descendant of every proper ancestor: each
+        // non-root ancestor a becomes ℓ(a) = (t_y − t_a) + (t_y − t_{p(a)}).
+        // The root keeps the full media length.
+        let mut cur = parent;
+        while let Some(p) = self.tree.parent(cur) {
+            self.specs[cur].length = (time - self.times[cur]) + (time - self.times[p]);
+            cur = p;
+        }
+        Ok(())
+    }
+}
+
+/// A closed tree retained only while clients inside it still await their
+/// last part-deadline.
+#[derive(Debug)]
+struct ClosedTree {
+    base: usize,
+    tree: MergeTree,
+    times: Vec<i64>,
+    specs: Vec<StreamSpec>,
+    remaining: usize,
+}
+
+/// Arrival-at-a-time serving engine; see the module docs for the design.
+///
+/// Drive it with [`push`](Self::push) per arrival and
+/// [`finish`](Self::finish) once the horizon ends;
+/// [`simulate_incremental`] is the batch adapter over a ready-made
+/// `(forest, times)` pair.
+#[derive(Debug)]
+pub struct IncrementalEngine {
+    media_len: u64,
+    media: i64,
+    config: SimConfig,
+    /// Latest ingested arrival time; pushes may not move before it.
+    last_time: Option<i64>,
+    /// Arrivals ingested so far (also the next global index).
+    n: usize,
+    /// Deadline cursor: next client to evaluate and emit.
+    ci: usize,
+    open: Option<OpenTree>,
+    closed: VecDeque<ClosedTree>,
+    /// Bandwidth change events `(slot, ±1)` of *closed* trees, drained
+    /// strictly below the latest closing root's arrival time.
+    events: BinaryHeap<Reverse<(i64, i32)>>,
+    active: u32,
+    profile: ProfileBuilder,
+    total_units: i64,
+    max_open_trees: usize,
+    scratch: EvalScratch,
+}
+
+impl IncrementalEngine {
+    /// A fresh engine for a media of `media_len` parts.
+    /// `config.buffer_bound` is honored; `config.engine` is ignored (this
+    /// *is* the incremental engine).
+    pub fn new(media_len: u64, config: SimConfig) -> Result<Self, SimError> {
+        let media = checked_media_len(media_len)?;
+        Ok(Self {
+            media_len,
+            media,
+            config,
+            last_time: None,
+            n: 0,
+            ci: 0,
+            open: None,
+            closed: VecDeque::new(),
+            events: BinaryHeap::new(),
+            active: 0,
+            profile: ProfileBuilder::new(),
+            total_units: 0,
+            max_open_trees: 0,
+            scratch: EvalScratch::default(),
+        })
+    }
+
+    /// Arrivals ingested so far.
+    pub fn arrivals(&self) -> usize {
+        self.n
+    }
+
+    /// Trees currently retained: the open one plus closed trees whose
+    /// clients are still inside their playback windows.
+    pub fn open_trees(&self) -> usize {
+        self.closed.len() + usize::from(self.open.is_some())
+    }
+
+    /// High-water mark of [`open_trees`](Self::open_trees) so far.
+    pub fn max_open_trees(&self) -> usize {
+        self.max_open_trees
+    }
+
+    /// Ingests one arrival at `time`, first streaming out every report
+    /// whose last part-deadline falls strictly before `time`.
+    ///
+    /// Times must be nondecreasing (ties welcome — simultaneous arrivals
+    /// are the model's bread and butter); a backwards push is rejected
+    /// with [`IngestError::OutOfOrder`] and changes nothing. A rejected
+    /// attach ([`IngestError::ParentNotOpen`]) likewise leaves the engine
+    /// as it was, so a serving loop can drop the request and carry on.
+    pub fn push<F: FnMut(ClientReport)>(
+        &mut self,
+        time: i64,
+        attach: Attach,
+        mut emit: F,
+    ) -> Result<(), IngestError> {
+        if let Some(last) = self.last_time {
+            if time < last {
+                return Err(IngestError::OutOfOrder { time, last });
+            }
+        }
+        self.fire_deadlines(Some(time), &mut emit)?;
+        match attach {
+            Attach::Root => {
+                self.close_open(Some(time));
+                self.open = Some(OpenTree::new(self.n, time, self.media));
+            }
+            Attach::Under(parent) => {
+                let node = self.n;
+                let not_open = IngestError::ParentNotOpen { node, parent };
+                let open = self.open.as_mut().ok_or(not_open.clone())?;
+                let local = parent
+                    .checked_sub(open.base)
+                    .filter(|&l| l < open.times.len())
+                    .ok_or(not_open)?;
+                open.attach(time, local)
+                    .map_err(|e| IngestError::Sim(SimError::Model(e)))?;
+            }
+        }
+        self.n += 1;
+        self.last_time = Some(time);
+        self.max_open_trees = self.max_open_trees.max(self.open_trees());
+        Ok(())
+    }
+
+    /// Ends the horizon: fires every pending deadline, closes the open
+    /// tree, drains the bandwidth events, and returns the aggregates.
+    pub fn finish<F: FnMut(ClientReport)>(
+        mut self,
+        mut emit: F,
+    ) -> Result<IncrementalSummary, SimError> {
+        self.fire_deadlines(None, &mut emit)?;
+        self.close_open(None);
+        Ok(IncrementalSummary {
+            summary: StreamingSummary {
+                bandwidth: self.profile.finish(),
+                total_units: self.total_units,
+                clients: self.n,
+            },
+            max_open_trees: self.max_open_trees,
+        })
+    }
+
+    /// Evaluates and emits clients in arrival-index order (which is
+    /// deadline order, since times are nondecreasing) while their deadline
+    /// `t_c + L` lies strictly before `before` — or all of them when
+    /// `before` is `None`. Served-out closed trees are dropped from the
+    /// front as the cursor passes them.
+    fn fire_deadlines<F: FnMut(ClientReport)>(
+        &mut self,
+        before: Option<i64>,
+        emit: &mut F,
+    ) -> Result<(), SimError> {
+        while self.ci < self.n {
+            // The next unserved client always lives in the *front* closed
+            // tree (earlier trees were dropped exactly when served out),
+            // or in the open tree once no closed tree is left.
+            if let Some(front) = self.closed.front_mut() {
+                debug_assert!((front.base..front.base + front.times.len()).contains(&self.ci));
+                let local = self.ci - front.base;
+                if before.is_some_and(|h| front.times[local] + self.media >= h) {
+                    return Ok(());
+                }
+                let report = eval_client(
+                    &front.tree,
+                    &front.times,
+                    &front.specs,
+                    self.media_len,
+                    front.base,
+                    local,
+                    self.config,
+                    &mut self.scratch,
+                )?;
+                emit(report);
+                self.ci += 1;
+                front.remaining -= 1;
+                if front.remaining == 0 {
+                    self.closed.pop_front();
+                }
+            } else if let Some(open) = self.open.as_ref() {
+                debug_assert!(self.ci >= open.base);
+                let local = self.ci - open.base;
+                if before.is_some_and(|h| open.times[local] + self.media >= h) {
+                    return Ok(());
+                }
+                // Tentative specs are safe here: every spec a client reads
+                // can only grow past demands that are fixed at its arrival.
+                let report = eval_client(
+                    &open.tree,
+                    &open.times,
+                    &open.specs,
+                    self.media_len,
+                    open.base,
+                    local,
+                    self.config,
+                    &mut self.scratch,
+                )?;
+                emit(report);
+                self.ci += 1;
+            } else {
+                debug_assert!(false, "client {} has no retained tree", self.ci);
+                return Ok(());
+            }
+        }
+        Ok(())
+    }
+
+    /// Closes the open tree (if any): its specs are now final, so its
+    /// bandwidth events enter the heap and its units the total; it is
+    /// retained only if unserved clients remain. Then drains every heap
+    /// event strictly below `horizon` (all of them for `None`) — sound
+    /// because every event a future push can add lies at or past the
+    /// closing root's arrival time.
+    fn close_open(&mut self, horizon: Option<i64>) {
+        if let Some(open) = self.open.take() {
+            for s in &open.specs {
+                if s.length > 0 {
+                    self.events.push(Reverse((s.start, 1)));
+                    self.events.push(Reverse((s.end(), -1)));
+                }
+                self.total_units += s.length;
+            }
+            let len = open.times.len();
+            let remaining = (open.base + len) - self.ci.max(open.base);
+            if remaining > 0 {
+                self.closed.push_back(ClosedTree {
+                    base: open.base,
+                    tree: open.tree,
+                    times: open.times,
+                    specs: open.specs,
+                    remaining,
+                });
+            }
+        }
+        while let Some(&Reverse((t, _))) = self.events.peek() {
+            if horizon.is_some_and(|h| t >= h) {
+                break;
+            }
+            // Net the whole instant, then record once: ends and starts at
+            // the same slot coalesce exactly as in the event engine.
+            while let Some(&Reverse((t2, delta))) = self.events.peek() {
+                if t2 != t {
+                    break;
+                }
+                self.events.pop();
+                if delta > 0 {
+                    self.active += 1;
+                } else {
+                    self.active -= 1;
+                }
+            }
+            self.profile.record(t, self.active);
+        }
+    }
+}
+
+/// Replays a batch `(forest, times)` pair through the push interface, in
+/// global arrival order — the bridge the equivalence suite and the scale
+/// benchmark use to hold the ingest path against the batch engines.
+///
+/// `times` must be nondecreasing (the push interface's clock contract);
+/// results are then bit-identical to
+/// [`simulate_streaming`](super::events::simulate_streaming).
+pub fn simulate_incremental<F: FnMut(ClientReport)>(
+    forest: &MergeForest,
+    times: &[i64],
+    media_len: u64,
+    config: SimConfig,
+    mut emit: F,
+) -> Result<IncrementalSummary, IngestError> {
+    if times.len() != forest.total_arrivals() {
+        return Err(IngestError::Sim(SimError::Model(
+            ModelError::TimesLengthMismatch {
+                nodes: forest.total_arrivals(),
+                times: times.len(),
+            },
+        )));
+    }
+    let mut engine = IncrementalEngine::new(media_len, config)?;
+    for (range, tree) in forest.iter_with_ranges() {
+        let base = range.start;
+        for local in 0..tree.len() {
+            let attach = match tree.parent(local) {
+                None => Attach::Root,
+                Some(p) => Attach::Under(base + p),
+            };
+            engine.push(times[base + local], attach, &mut emit)?;
+        }
+    }
+    engine.finish(&mut emit).map_err(IngestError::Sim)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::super::events::simulate_streaming_slice;
+    use super::*;
+    use sm_core::consecutive_slots;
+
+    fn fig4_forest() -> MergeForest {
+        MergeForest::single(
+            MergeTree::from_parents(&[
+                None,
+                Some(0),
+                Some(0),
+                Some(0),
+                Some(3),
+                Some(0),
+                Some(5),
+                Some(5),
+            ])
+            .unwrap(),
+        )
+    }
+
+    /// Both engines over the same input; pins summary, reports, and
+    /// emission order.
+    fn assert_matches_events(forest: &MergeForest, times: &[i64], media_len: u64) {
+        let cfg = SimConfig::default();
+        let mut batch = Vec::new();
+        let expected = simulate_streaming_slice(forest, times, media_len, cfg, |r| batch.push(r));
+        let mut inc = Vec::new();
+        let got = simulate_incremental(forest, times, media_len, cfg, |r| inc.push(r));
+        match (expected, got) {
+            (Ok(summary), Ok(isummary)) => {
+                assert_eq!(isummary.summary, summary);
+                assert_eq!(inc, batch, "reports and emission order must pin");
+            }
+            (Err(e), Err(IngestError::Sim(ie))) => assert_eq!(ie, e),
+            (e, g) => panic!("engines disagree on outcome: {e:?} vs {g:?}"),
+        }
+    }
+
+    #[test]
+    fn fig4_pins_against_the_event_engine() {
+        let forest = fig4_forest();
+        assert_matches_events(&forest, &consecutive_slots(8), 15);
+    }
+
+    #[test]
+    fn multi_tree_with_gaps_and_ties_pins() {
+        let t = MergeTree::from_parents(&[None, Some(0), Some(1), Some(0)]).unwrap();
+        let forest = MergeForest::from_trees(vec![t.clone(), t, MergeTree::singleton()]).unwrap();
+        // Ties within a tree, a tie across the tree boundary, and a gap.
+        let times = vec![0, 0, 2, 2, 2, 3, 3, 5, 40];
+        assert_matches_events(&forest, &times, 12);
+    }
+
+    #[test]
+    fn tied_co_arrival_gains_its_stream_retroactively() {
+        // Arrival 1 ties with the root: its tentative stream has length 0.
+        // Arrival 2 then merges under it, so stream 1 must retroactively
+        // start (length 2·7 − 5 − 5 = 4) — the case that forces bandwidth
+        // events to wait for tree closure.
+        let tree = MergeTree::from_parents(&[None, Some(0), Some(1)]).unwrap();
+        let forest = MergeForest::single(tree);
+        assert_matches_events(&forest, &[5, 5, 7], 20);
+    }
+
+    #[test]
+    fn deep_chain_pins() {
+        let media = 40u64;
+        let c = (media / 2 + 1) as usize;
+        let forest = MergeForest::single(MergeTree::chain(c));
+        assert_matches_events(&forest, &consecutive_slots(c), media);
+    }
+
+    #[test]
+    fn buffer_bound_error_pins() {
+        let forest = fig4_forest();
+        let times = consecutive_slots(8);
+        let cfg = SimConfig {
+            buffer_bound: Some(1),
+            ..SimConfig::default()
+        };
+        let batch = simulate_streaming_slice(&forest, &times, 15, cfg, |_| {}).unwrap_err();
+        let got = simulate_incremental(&forest, &times, 15, cfg, |_| {}).unwrap_err();
+        assert_eq!(got, IngestError::Sim(batch));
+    }
+
+    #[test]
+    fn out_of_order_push_is_rejected_and_harmless() {
+        let mut eng = IncrementalEngine::new(10, SimConfig::default()).unwrap();
+        eng.push(5, Attach::Root, |_| {}).unwrap();
+        let err = eng.push(4, Attach::Root, |_| {}).unwrap_err();
+        assert_eq!(err, IngestError::OutOfOrder { time: 4, last: 5 });
+        // The clock and structure are untouched: a tie still goes through.
+        eng.push(5, Attach::Under(0), |_| {}).unwrap();
+        assert_eq!(eng.arrivals(), 2);
+    }
+
+    #[test]
+    fn attach_outside_the_open_tree_is_rejected() {
+        let mut eng = IncrementalEngine::new(10, SimConfig::default()).unwrap();
+        let err = eng.push(0, Attach::Under(0), |_| {}).unwrap_err();
+        assert_eq!(err, IngestError::ParentNotOpen { node: 0, parent: 0 });
+        eng.push(0, Attach::Root, |_| {}).unwrap();
+        eng.push(1, Attach::Root, |_| {}).unwrap();
+        // Arrival 2 may not reach back into the closed tree's root 0.
+        let err = eng.push(2, Attach::Under(0), |_| {}).unwrap_err();
+        assert_eq!(err, IngestError::ParentNotOpen { node: 2, parent: 0 });
+        // Nor name itself or the future.
+        let err = eng.push(2, Attach::Under(2), |_| {}).unwrap_err();
+        assert_eq!(err, IngestError::ParentNotOpen { node: 2, parent: 2 });
+    }
+
+    #[test]
+    fn reports_stream_out_while_ingest_continues() {
+        // Spaced singletons: by the time tree k opens, every client of
+        // tree k−1 is past its deadline, so pushes interleave with emits
+        // and retention stays at the open tree alone.
+        let media = 5u64;
+        let mut eng = IncrementalEngine::new(media, SimConfig::default()).unwrap();
+        let mut emitted = Vec::new();
+        for k in 0..16i64 {
+            eng.push(k * 100, Attach::Root, |r: ClientReport| {
+                emitted.push(r.client)
+            })
+            .unwrap();
+            assert_eq!(eng.open_trees(), 1, "previous trees must be dropped");
+            assert_eq!(emitted.len(), k as usize);
+        }
+        let summary = eng.finish(|r| emitted.push(r.client)).unwrap();
+        assert_eq!(emitted, (0..16).collect::<Vec<_>>());
+        assert_eq!(summary.max_open_trees, 1);
+        assert_eq!(summary.summary.total_units, 16 * media as i64);
+    }
+
+    #[test]
+    fn empty_run_matches_the_empty_batch() {
+        let eng = IncrementalEngine::new(9, SimConfig::default()).unwrap();
+        let summary = eng.finish(|_| {}).unwrap();
+        assert_eq!(summary.summary.clients, 0);
+        assert_eq!(summary.summary.total_units, 0);
+        assert!(summary.summary.bandwidth.is_empty());
+        assert_eq!(summary.max_open_trees, 0);
+    }
+
+    #[test]
+    fn media_len_overflow_is_rejected_at_construction() {
+        assert!(matches!(
+            IncrementalEngine::new(u64::MAX, SimConfig::default()).unwrap_err(),
+            SimError::MediaLenOverflow { .. }
+        ));
+    }
+
+    #[test]
+    fn max_open_trees_tracks_overlapping_windows() {
+        // Roots every slot with a long media: all windows overlap, so
+        // every tree is still retained when the last one opens.
+        let n = 8usize;
+        let forest = MergeForest::from_trees(vec![MergeTree::singleton(); n]).unwrap();
+        let times: Vec<i64> = (0..n as i64).collect();
+        let summary =
+            simulate_incremental(&forest, &times, 1000, SimConfig::default(), |_| {}).unwrap();
+        assert_eq!(summary.max_open_trees, n);
+    }
+}

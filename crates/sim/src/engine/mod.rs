@@ -1,9 +1,9 @@
 //! The execution engines.
 //!
-//! Two interchangeable engines replay every client's receiving program
-//! against the concrete broadcast schedule and fail with the *first*
-//! violation — stall, receive-two breach, buffer overflow, or a
-//! program/schedule mismatch:
+//! Three engines replay every client's receiving program against the
+//! concrete broadcast schedule and fail with the *first* violation —
+//! stall, receive-two breach, buffer overflow, or a program/schedule
+//! mismatch:
 //!
 //! * [`dense`] — the original slot-stepped oracle: every client is swept
 //!   over every slot of its playback window (`O(clients · L²)` time,
@@ -14,20 +14,30 @@
 //!   derived from the program's segments by a single sorted-endpoint sweep —
 //!   `O(segments log segments)` per client (never candidates × segments),
 //!   memory proportional to the *active* trees and streams — the
-//!   production path.
+//!   production batch path.
+//! * [`incremental`] — the event engine turned inside out for *serving*:
+//!   arrivals push in one at a time ([`IncrementalEngine::push`]), the
+//!   open merge tree and its tentative Lemma-1 specs grow in place, and
+//!   reports stream out as deadlines fire during ingest — no forest, no
+//!   horizon, no times slice up front.
 //!
-//! Both produce bit-identical [`SimReport`]s (pinned by the
-//! `engine_equivalence` proptest suite); [`SimConfig::engine`] selects one.
+//! All produce bit-identical reports (pinned by the `engine_equivalence`
+//! proptest suite); [`SimConfig::engine`] selects a batch engine, while
+//! the incremental engine is driven through its own push interface.
 
 pub mod dense;
 pub mod events;
+pub mod incremental;
 
 use crate::error::SimError;
 use crate::metrics::BandwidthProfile;
 use crate::schedule::checked_media_len;
 use sm_core::MergeForest;
 
-pub use events::{simulate_streaming, StreamingSummary};
+pub use events::{simulate_streaming, simulate_streaming_slice, Arrival, StreamingSummary};
+pub use incremental::{
+    simulate_incremental, Attach, IncrementalEngine, IncrementalSummary, IngestError,
+};
 
 /// Which execution engine to run.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]

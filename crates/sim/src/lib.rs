@@ -30,8 +30,9 @@ pub mod schedule;
 pub use channels::{assign_channels, ChannelPlan};
 pub use continuous::{verify_continuous, ContinuousError};
 pub use engine::{
-    simulate, simulate_streaming, simulate_with, ClientReport, Engine, SimConfig, SimReport,
-    StreamingSummary,
+    simulate, simulate_incremental, simulate_streaming, simulate_streaming_slice, simulate_with,
+    Arrival, Attach, ClientReport, Engine, IncrementalEngine, IncrementalSummary, IngestError,
+    SimConfig, SimReport, StreamingSummary,
 };
 pub use error::SimError;
 pub use metrics::BandwidthProfile;

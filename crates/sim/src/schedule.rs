@@ -300,6 +300,68 @@ mod tests {
     }
 
     #[test]
+    fn empty_forest_stream_is_exhausted_from_the_start() {
+        let forest = MergeForest::empty();
+        let mut stream = ScheduleStream::new(&forest, &[], 10).unwrap();
+        assert_eq!(stream.remaining_trees(), 0);
+        assert_eq!(stream.remaining_arrivals(), 0);
+        let mut scratch = vec![StreamSpec {
+            node: 9,
+            start: 9,
+            length: 9,
+        }];
+        assert!(stream.next_into(&mut scratch).is_none());
+        assert_eq!(scratch.len(), 1, "an exhausted stream must not clear");
+        assert!(stream.next().is_none());
+        assert_eq!(stream.remaining_arrivals(), 0);
+    }
+
+    #[test]
+    fn single_client_trees_count_down_one_arrival_at_a_time() {
+        // A forest of singletons: every tree is one full stream; the two
+        // remaining-counters stay in lockstep at every pull.
+        let n = 5usize;
+        let forest = MergeForest::from_trees(vec![MergeTree::singleton(); n]).unwrap();
+        let times: Vec<i64> = (0..n as i64).map(|i| i * 7).collect();
+        let mut stream = ScheduleStream::new(&forest, &times, 4).unwrap();
+        let mut specs = Vec::new();
+        for (k, &time) in times.iter().enumerate() {
+            assert_eq!(stream.remaining_trees(), n - k);
+            assert_eq!(stream.remaining_arrivals(), n - k);
+            assert_eq!(stream.next_into(&mut specs), Some(k));
+            assert_eq!(
+                specs,
+                vec![StreamSpec {
+                    node: k,
+                    start: time,
+                    length: 4,
+                }],
+                "a singleton tree is exactly its root's full stream"
+            );
+        }
+        assert_eq!(stream.remaining_arrivals(), 0);
+        assert!(stream.next_into(&mut specs).is_none());
+    }
+
+    #[test]
+    fn unit_media_len_keeps_roots_at_one_part_and_merges_at_lemma_lengths() {
+        // media_len == 1: the root broadcasts a single part; a same-slot
+        // co-arrival merges with a zero-length stream, a later arrival
+        // would simply be infeasible (caught downstream, not here — the
+        // schedule itself is still well-defined).
+        let tree = MergeTree::from_parents(&[None, Some(0)]).unwrap();
+        let forest = MergeForest::single(tree);
+        let mut stream = ScheduleStream::new(&forest, &[3, 3], 1).unwrap();
+        assert_eq!(stream.remaining_arrivals(), 2);
+        let t = stream.next().unwrap();
+        assert_eq!(t.specs[0].length, 1);
+        assert_eq!(t.specs[1].length, 0);
+        assert_eq!(t.total_units(), 1);
+        assert_eq!(stream.remaining_arrivals(), 0);
+        assert_eq!(stream.remaining_trees(), 0);
+    }
+
+    #[test]
     fn schedule_stream_rejects_oversized_media_len() {
         let forest = fig4_forest();
         let times = consecutive_slots(8);

@@ -3,13 +3,18 @@
 //! change-points, same per-client `max_buffer`/`max_concurrent`/`min_slack`,
 //! and the same first error on infeasible inputs — across randomized
 //! forests, arrival sequences, media lengths, and buffer bounds. The
-//! streaming API (`simulate_streaming`, which pulls the schedule lazily
-//! tree-by-tree for sorted arrivals) is pinned against the collected
-//! `simulate_with` path on every case as well.
+//! streaming API (`simulate_streaming`, fed through its `IntoIterator`
+//! entry point) is pinned against the collected `simulate_with` path on
+//! every case, and on every *sorted* case the push-based incremental
+//! engine (`simulate_incremental`) is pinned bit-identical as well:
+//! summary, reports, emission order, and first error.
 
 use proptest::prelude::*;
 use sm_core::{consecutive_slots, MergeForest, MergeTree};
-use sm_sim::{simulate_streaming, simulate_with, ClientReport, SimConfig, SimError, SimReport};
+use sm_sim::{
+    simulate_incremental, simulate_streaming, simulate_with, Arrival, ClientReport, IngestError,
+    SimConfig, SimError, SimReport,
+};
 
 fn run_both(
     forest: &MergeForest,
@@ -52,9 +57,11 @@ fn run_streaming(
     Vec<ClientReport>,
 ) {
     let mut emitted = Vec::new();
+    // Through the iterator entry point, so every equivalence case also
+    // exercises the `impl IntoIterator<Item = Arrival>` API surface.
     let summary = simulate_streaming(
         forest,
-        times,
+        times.iter().copied().map(Arrival::from),
         media_len,
         SimConfig {
             buffer_bound,
@@ -106,6 +113,51 @@ fn assert_streaming_matches(
     }
 }
 
+/// The push-based incremental engine replayed over the same arrivals must
+/// be bit-identical to the collected event-engine report on every *sorted*
+/// input (the push interface's clock contract): same summary, same
+/// reports in the same emission order, same first error.
+fn assert_incremental_matches(
+    forest: &MergeForest,
+    times: &[i64],
+    media_len: u64,
+    buffer_bound: Option<u64>,
+    events: &Result<SimReport, SimError>,
+) {
+    if !times.windows(2).all(|w| w[0] <= w[1]) {
+        return;
+    }
+    let mut emitted = Vec::new();
+    let got = simulate_incremental(
+        forest,
+        times,
+        media_len,
+        SimConfig {
+            buffer_bound,
+            ..SimConfig::events()
+        },
+        |r| emitted.push(r),
+    );
+    match (events, got) {
+        (Ok(report), Ok(inc)) => {
+            assert_eq!(inc.summary.bandwidth, report.bandwidth);
+            assert_eq!(inc.summary.total_units, report.total_units);
+            assert_eq!(inc.summary.clients, report.clients.len());
+            assert_eq!(emitted, report.clients, "incremental emission order");
+            assert!(
+                inc.max_open_trees <= forest.num_trees().max(1),
+                "retention may never exceed the tree count"
+            );
+        }
+        (Err(batch_err), Err(IngestError::Sim(ingest_err))) => {
+            assert_eq!(ingest_err, *batch_err, "first error must pin");
+        }
+        (batch, ingest) => {
+            panic!("incremental/batch feasibility disagreement: {batch:?} vs {ingest:?}")
+        }
+    }
+}
+
 /// Full bit-for-bit comparison, plus internal-consistency checks on success.
 fn assert_engines_agree(
     forest: &MergeForest,
@@ -116,6 +168,7 @@ fn assert_engines_agree(
     let (dense, events) = run_both(forest, times, media_len, buffer_bound);
     assert_eq!(dense, events, "L = {media_len}, n = {}", times.len());
     assert_streaming_matches(forest, times, media_len, buffer_bound, &events);
+    assert_incremental_matches(forest, times, media_len, buffer_bound, &events);
     if let Ok(report) = events {
         assert_eq!(report.bandwidth.total_units(), report.total_units);
         // Per-slot bandwidth agreement at every change-point (and just
@@ -224,6 +277,41 @@ proptest! {
         let n = parents.len();
         let forest = MergeForest::single(tree);
         let times = consecutive_slots(n);
+        assert_engines_agree(&forest, &times, media_len, None);
+    }
+
+    #[test]
+    fn simultaneous_arrivals_pin_all_three_engines(
+        seeds in proptest::collection::vec(0u64..1_000_000_000, 2..40),
+        media_len in 2u64..20,
+    ) {
+        // A flash-crowd generator: each seed decides a gap (0 with high
+        // probability, so duplicate timestamps pile up both *within* a
+        // title's tree and *across* tree boundaries), whether the arrival
+        // opens a new title's tree, and where it merges. Tie-breaking —
+        // deadline ties resolve in arrival-index order, co-arrival streams
+        // start at the same slot — must pin identically across the dense,
+        // event, and incremental engines.
+        let mut times = Vec::with_capacity(seeds.len());
+        let mut parents_by_tree: Vec<Vec<Option<usize>>> = Vec::new();
+        let mut t = 0i64;
+        for (i, &s) in seeds.iter().enumerate() {
+            t += match s % 5 { 0..=2 => 0, 3 => 1, _ => 2 };
+            times.push(t);
+            if i == 0 || (s / 5) % 4 == 0 {
+                parents_by_tree.push(vec![None]);
+            } else {
+                let open = parents_by_tree.last_mut().unwrap();
+                let parent = (s / 20) as usize % open.len();
+                open.push(Some(parent));
+            }
+        }
+        let trees: Vec<MergeTree> = parents_by_tree
+            .iter()
+            .map(|p| MergeTree::from_parents(p).unwrap())
+            .collect();
+        let forest = MergeForest::from_trees(trees).unwrap();
+        prop_assert!(times.windows(2).all(|w| w[0] <= w[1]), "generator premise");
         assert_engines_agree(&forest, &times, media_len, None);
     }
 }

@@ -14,6 +14,7 @@
 //! | [`online`] | §4: on-line delay-guaranteed algorithm, dyadic (α,β) merging, batching, patching/ERMT/tapping baselines |
 //! | [`broadcast`] | §1's static-allocation baselines: staggered, pyramid, skyscraper, fast, harmonic broadcasting |
 //! | [`sim`] | discrete-event Media-on-Demand simulator (correctness oracle) |
+//! | [`serve`] | push-based serving loop: pipelined live ingest, traffic-time admission, latency accounting |
 //! | [`server`] | §5's multi-object server: Zipf catalogs, per-title delay planning, aggregate load |
 //! | [`workload`] | constant-rate / Poisson arrival processes |
 //! | [`experiments`] | regeneration of every figure and table of the paper |
@@ -38,6 +39,7 @@ pub use sm_experiments as experiments;
 pub use sm_fib as fib;
 pub use sm_offline as offline;
 pub use sm_online as online;
+pub use sm_serve as serve;
 pub use sm_server as server;
 pub use sm_sim as sim;
 pub use sm_workload as workload;

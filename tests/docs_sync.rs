@@ -73,7 +73,7 @@ fn readme_workspace_map_matches_cargo_members() {
             crates_seen += 1;
         }
     }
-    assert_eq!(crates_seen, 11, "expected the 11 sm-* workspace members");
+    assert_eq!(crates_seen, 12, "expected the 12 sm-* workspace members");
 }
 
 #[test]
@@ -102,8 +102,16 @@ fn architecture_documents_the_runtime_pieces() {
     for piece in [
         "engine::events",
         "engine::dense",
+        "engine::incremental",
         "ScheduleStream",
         "simulate_streaming",
+        "simulate_incremental",
+        "IncrementalEngine",
+        "sm-serve",
+        "ServeConfig",
+        "ServeReport",
+        "serve_with",
+        "max_active",
         "simulate_dynamic",
         "simulate_dynamic_sequential",
         "parallel_map",
@@ -137,6 +145,8 @@ fn bench_json_schema_is_documented_field_by_field() {
         "peak_streams",
         "total_units",
         "memo_hits",
+        "ns_per_arrival",
+        "max_open_trees",
     ] {
         assert!(
             bench_src.contains(&format!("\\\"{field}\\\"")),
@@ -154,9 +164,10 @@ fn committed_bench_trajectory_has_the_dynamic_datapoints() {
     let json = read("BENCH_scale.json");
     let cases = bench_case_lines(&json);
     assert!(
-        cases.len() >= 7,
-        "BENCH_scale.json should carry the three sim shapes, the sequential \
-         dynamic baseline, and the pipelined K ∈ {{1, 2, 4}} sweep"
+        cases.len() >= 8,
+        "BENCH_scale.json should carry the three sim shapes, the incremental \
+         ingest run, the sequential dynamic baseline, and the pipelined \
+         K ∈ {{1, 2, 4}} sweep"
     );
     let dynamic: Vec<&&str> = cases
         .iter()
@@ -220,6 +231,51 @@ fn committed_bench_trajectory_has_the_dynamic_datapoints() {
     }
 }
 
+#[test]
+fn committed_bench_trajectory_has_the_incremental_ingest_datapoint() {
+    let json = read("BENCH_scale.json");
+    let cases = bench_case_lines(&json);
+    let inc = cases
+        .iter()
+        .find(|l| l.contains("serve_incremental") && l.contains("\"incremental\""))
+        .expect("BENCH_scale.json must carry the serve_incremental datapoint");
+    let events = cases
+        .iter()
+        .find(|l| l.contains("events_dg") && l.contains("\"events\""))
+        .expect("BENCH_scale.json must carry the events_dg baseline");
+    assert!(
+        json_number(inc, "arrivals") >= 1_000_000.0,
+        "the committed serve_incremental run must be full-size (10^6 arrivals)"
+    );
+    // Same grid, push-based: identical deterministic outputs.
+    assert_eq!(
+        json_number(inc, "total_units"),
+        json_number(events, "total_units"),
+        "incremental ingest must transmit exactly what the events engine does"
+    );
+    assert_eq!(
+        json_number(inc, "peak_streams"),
+        json_number(events, "peak_streams"),
+        "incremental ingest must reproduce the events engine's peak"
+    );
+    // The acceptance bar of the push-based refactor: amortized ingest cost
+    // within 1.5x of the batch engine, and bounded tree retention.
+    let (inc_ns, events_ns) = (
+        json_number(inc, "ns_per_arrival"),
+        json_number(events, "ns_per_arrival"),
+    );
+    assert!(
+        inc_ns <= events_ns * 1.5,
+        "committed serve_incremental regressed: {inc_ns} ns/arrival > 1.5x \
+         the events baseline ({events_ns} ns/arrival)"
+    );
+    let retained = json_number(inc, "max_open_trees");
+    assert!(
+        (1.0..=64.0).contains(&retained),
+        "the DG grid keeps a handful of trees live, got {retained}"
+    );
+}
+
 /// Structural schema check applied to **both** committed bench snapshots:
 /// the full-size `BENCH_scale.json` and the reduced-N
 /// `BENCH_scale_smoke.json` (written by `SM_SCALE_ARRIVALS` runs, e.g. the
@@ -235,8 +291,9 @@ fn assert_scale_snapshot_schema(json: &str, what: &str) {
     }
     let cases = bench_case_lines(json);
     assert!(
-        cases.len() >= 7,
-        "{what}: expected the three sim shapes plus four dynamic datapoints, got {}",
+        cases.len() >= 8,
+        "{what}: expected the three sim shapes, the incremental ingest run, \
+         and four dynamic datapoints, got {}",
         cases.len()
     );
     for line in cases {
@@ -247,6 +304,8 @@ fn assert_scale_snapshot_schema(json: &str, what: &str) {
             "peak_streams",
             "total_units",
             "memo_hits",
+            "ns_per_arrival",
+            "max_open_trees",
         ] {
             let v = json_number(line, key);
             assert!(
@@ -255,7 +314,7 @@ fn assert_scale_snapshot_schema(json: &str, what: &str) {
             );
         }
         assert!(
-            ["events", "pipelined", "sequential"]
+            ["events", "incremental", "pipelined", "sequential"]
                 .iter()
                 .any(|e| line.contains(&format!("\"engine\": \"{e}\""))),
             "{what}: unknown engine tag in {line}"
