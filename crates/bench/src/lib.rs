@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 //! Shared helpers for the criterion benches.
 //!
 //! The benches live in `benches/`:

@@ -120,6 +120,7 @@ impl HarmonicPlan {
                 for s in 0..i {
                     let rounds = (s + i - p) % i + 1;
                     if rounds * i > (i - 1) * i + s {
+                        // sm-lint: allow(narrowing-cast) — i ≤ num_segments (a u32 widened above) and p, s < i
                         return Some((i as u32, p as u32, s as u32));
                     }
                 }

@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 //! Static-allocation periodic broadcasting schemes — the pyramid-paradigm
 //! baselines the paper positions stream merging against (§1).
 //!

@@ -96,7 +96,11 @@ pub fn static_tradeoff(media_len: u64, delay: u64) -> Result<Vec<SchemeRow>, Bro
         max_buffer: report.max_buffer,
     });
 
-    let harmonic = HarmonicPlan::new(media_len, (media_len / delay) as u32)?;
+    let segments =
+        u32::try_from(media_len / delay).map_err(|_| BroadcastError::InvalidParameters {
+            reason: "media_len / delay exceeds u32::MAX harmonic segments",
+        })?;
+    let harmonic = HarmonicPlan::new(media_len, segments)?;
     harmonic.verify_delayed()?;
     rows.push(SchemeRow {
         scheme: "harmonic(delayed)",

@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 //! `smctl` — a command-line front end over the whole workspace.
 //!
 //! The binary is a thin wrapper around [`run`], which takes the argument

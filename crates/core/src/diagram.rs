@@ -39,6 +39,7 @@ pub fn render_forest(forest: &MergeForest, times: &[i64], media_len: u64) -> Str
 
 fn stream_name(x: usize) -> String {
     if x < 26 {
+        // sm-lint: allow(narrowing-cast) — guarded by `x < 26` on the line above
         char::from(b'A' + x as u8).to_string()
     } else {
         format!("#{x}")

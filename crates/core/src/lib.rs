@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 //! Model layer for delay-guaranteed Media-on-Demand with stream merging
 //! (Bar-Noy–Goshi–Ladner, SPAA'03 / JDA'06, §2).
 //!

@@ -71,6 +71,7 @@ where
     });
     slots
         .into_iter()
+        // sm-lint: allow(no-panic-surface) — scope() joined every worker, and each worker fills its claimed slots before exiting
         .map(|m| m.into_inner().expect("every slot filled"))
         .collect()
 }
@@ -93,6 +94,14 @@ struct Channel<T> {
     depth: usize,
 }
 
+/// Recovers the guard from a poisoned `std` lock. Every critical section
+/// below is a handful of field reads/writes with no user code, so a poisoned
+/// mutex still holds consistent state — recovering beats propagating a panic
+/// out of the channel plumbing.
+fn recover<G>(r: Result<G, std::sync::PoisonError<G>>) -> G {
+    r.unwrap_or_else(std::sync::PoisonError::into_inner)
+}
+
 impl<T> Channel<T> {
     fn new(depth: usize) -> Self {
         Self {
@@ -109,9 +118,9 @@ impl<T> Channel<T> {
     /// Blocks until there is room (or the consumer aborted). Returns `false`
     /// when the item was not accepted because of an abort.
     fn push(&self, item: T) -> bool {
-        let mut state = self.state.lock().expect("pipeline channel poisoned");
+        let mut state = recover(self.state.lock());
         while state.buf.len() >= self.depth && !state.aborted {
-            state = self.cv.wait(state).expect("pipeline channel poisoned");
+            state = recover(self.cv.wait(state));
         }
         if state.aborted {
             return false;
@@ -125,9 +134,9 @@ impl<T> Channel<T> {
     /// *and* drained (buffered items produced before a close still come out,
     /// preserving the sequential consumption order).
     fn pop(&self) -> Option<T> {
-        let mut state = self.state.lock().expect("pipeline channel poisoned");
+        let mut state = recover(self.state.lock());
         while state.buf.is_empty() && !state.closed {
-            state = self.cv.wait(state).expect("pipeline channel poisoned");
+            state = recover(self.cv.wait(state));
         }
         let item = state.buf.pop_front();
         if item.is_some() {
@@ -137,13 +146,13 @@ impl<T> Channel<T> {
     }
 
     fn close(&self) {
-        let mut state = self.state.lock().expect("pipeline channel poisoned");
+        let mut state = recover(self.state.lock());
         state.closed = true;
         self.cv.notify_all();
     }
 
     fn abort(&self) {
-        let mut state = self.state.lock().expect("pipeline channel poisoned");
+        let mut state = recover(self.state.lock());
         state.aborted = true;
         self.cv.notify_all();
     }
@@ -189,6 +198,7 @@ where
     P: FnMut(usize) -> Result<U, E> + Send,
     C: FnMut(usize, U) -> Result<R, E>,
 {
+    // sm-lint: allow(no-panic-surface) — documented `# Panics` API precondition; a zero-depth channel cannot make progress
     assert!(depth >= 1, "pipeline depth must be at least 1");
     if n <= 1 || IN_WORKER.get() {
         let mut out = Vec::with_capacity(n);

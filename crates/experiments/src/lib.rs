@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 //! Regeneration of every table and figure in the paper's evaluation.
 //!
 //! | Paper artifact | Module | Binary |

@@ -45,6 +45,7 @@ pub fn binet_approx(k: usize) -> u64 {
     // |φ̂|^k/√5 < 1/2 for all k ≥ 0, so rounding φ^k/√5 alone yields F_k.
     let sqrt5 = Dd::sqrt5();
     let phi = Dd::phi(sqrt5);
+    // sm-lint: allow(narrowing-cast) — k ≤ MAX_FIB_INDEX_U64 = 93, asserted at entry
     phi.powi(k as u32).div(sqrt5).round_to_u64()
 }
 

@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 //! Exact Fibonacci kernel used throughout the stream-merging reproduction.
 //!
 //! The optimal delay-guaranteed merge cost of Bar-Noy–Goshi–Ladner is governed

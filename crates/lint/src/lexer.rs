@@ -1,0 +1,502 @@
+//! A hand-rolled, dependency-free Rust lexer: just enough of the language
+//! to walk real source as a token stream without ever mistaking the inside
+//! of a string, character literal, raw string, or (nested) block comment
+//! for code. `sm-lint` deliberately does not parse — every shipped rule is
+//! a scoped token-pattern match — so the lexer is the single place where
+//! textual Rust gets disambiguated, and its edge cases (lifetimes vs char
+//! literals, `r#ident` vs `r#"…"#`, hashes in raw strings, `b"…"` and
+//! `br#"…"#` prefixes) are each pinned by a unit test below that a naive
+//! scanner would fail.
+//!
+//! The stream also carries every `//` line comment (with an
+//! `is_trailing` flag), because the waiver syntax lives in comments; doc
+//! comments (`///`, `//!`) are excluded from waiver consideration so
+//! documentation can *mention* the waiver grammar without enacting it.
+
+/// One lexical token. `text` borrows from the source.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Token<'a> {
+    pub kind: TokenKind,
+    pub text: &'a str,
+    /// 1-based source line of the token's first character.
+    pub line: u32,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TokenKind {
+    /// Identifier or keyword (`foo`, `as`, `let`, `_`), including the
+    /// unescaped name of a raw identifier (`r#fn` lexes as `Ident("fn")`).
+    Ident,
+    /// `'a`, `'static`, `'_` — a quote that opens a lifetime, not a char.
+    Lifetime,
+    /// `'x'`, `'\n'`, `b'x'` — character and byte literals.
+    Char,
+    /// Any string-shaped literal: `"…"`, `r"…"`, `r#"…"#`, `b"…"`,
+    /// `br##"…"##`, `c"…"`. The rules never look inside; one kind suffices.
+    Str,
+    /// Numeric literal, suffix included (`0x1f`, `1_000u64`, `2.5e-3`).
+    Number,
+    /// A single punctuation character (`.`, `(`, `!`, …). Multi-character
+    /// operators arrive as consecutive tokens; rules match sequences.
+    Punct,
+}
+
+/// A `//` comment captured during lexing (block comments are skipped: the
+/// waiver grammar is line-comment only, so a waiver cannot hide mid-line).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LineComment<'a> {
+    /// Comment body after the `//` (untrimmed).
+    pub text: &'a str,
+    pub line: u32,
+    /// `true` when code precedes the comment on its line (a trailing
+    /// comment annotates its own line; a standalone one, the next).
+    pub is_trailing: bool,
+    /// `true` for `///` and `//!` doc comments.
+    pub is_doc: bool,
+}
+
+/// The full lex of one source file.
+#[derive(Debug, Default)]
+pub struct Lexed<'a> {
+    pub tokens: Vec<Token<'a>>,
+    pub comments: Vec<LineComment<'a>>,
+}
+
+pub fn lex(src: &str) -> Lexed<'_> {
+    Lexer {
+        src,
+        bytes: src.as_bytes(),
+        pos: 0,
+        line: 1,
+        line_had_token: false,
+        out: Lexed::default(),
+    }
+    .run()
+}
+
+struct Lexer<'a> {
+    src: &'a str,
+    bytes: &'a [u8],
+    pos: usize,
+    line: u32,
+    /// Whether a token has already been emitted on the current line
+    /// (drives `LineComment::is_trailing`).
+    line_had_token: bool,
+    out: Lexed<'a>,
+}
+
+fn is_ident_start(b: u8) -> bool {
+    b.is_ascii_alphabetic() || b == b'_'
+}
+
+fn is_ident_continue(b: u8) -> bool {
+    b.is_ascii_alphanumeric() || b == b'_'
+}
+
+impl<'a> Lexer<'a> {
+    fn peek(&self, ahead: usize) -> u8 {
+        *self.bytes.get(self.pos + ahead).unwrap_or(&0)
+    }
+
+    /// Advances one byte, tracking line numbers.
+    fn bump(&mut self) {
+        if self.peek(0) == b'\n' {
+            self.line += 1;
+            self.line_had_token = false;
+        }
+        self.pos += 1;
+    }
+
+    fn bump_n(&mut self, n: usize) {
+        for _ in 0..n {
+            self.bump();
+        }
+    }
+
+    fn emit(&mut self, kind: TokenKind, start: usize, line: u32) {
+        self.out.tokens.push(Token {
+            kind,
+            text: &self.src[start..self.pos],
+            line,
+        });
+        self.line_had_token = true;
+    }
+
+    fn run(mut self) -> Lexed<'a> {
+        while self.pos < self.bytes.len() {
+            let b = self.peek(0);
+            let start = self.pos;
+            let line = self.line;
+            match b {
+                b' ' | b'\t' | b'\r' | b'\n' => self.bump(),
+                b'/' if self.peek(1) == b'/' => self.line_comment(),
+                b'/' if self.peek(1) == b'*' => self.block_comment(),
+                b'r' if self.peek(1) == b'"' || self.peek(1) == b'#' => self.raw_or_ident(),
+                b'b' | b'c' => {
+                    if !self.string_prefix() {
+                        while is_ident_continue(self.peek(0)) {
+                            self.bump();
+                        }
+                        self.emit(TokenKind::Ident, start, line);
+                    }
+                }
+                b'"' => self.string(),
+                b'\'' => self.quote(),
+                _ if is_ident_start(b) => {
+                    while is_ident_continue(self.peek(0)) {
+                        self.bump();
+                    }
+                    self.emit(TokenKind::Ident, start, line);
+                }
+                _ if b.is_ascii_digit() => self.number(),
+                _ => {
+                    // One byte of punctuation — or one UTF-8 char, so a
+                    // stray `…` in a macro body cannot split a code point.
+                    self.bump();
+                    while self.pos < self.bytes.len() && (self.peek(0) & 0xC0) == 0x80 {
+                        self.bump();
+                    }
+                    self.emit(TokenKind::Punct, start, line);
+                }
+            }
+        }
+        self.out
+    }
+
+    fn line_comment(&mut self) {
+        let line = self.line;
+        let is_trailing = self.line_had_token;
+        self.bump_n(2); // `//`
+        let is_doc = matches!(self.peek(0), b'/' | b'!');
+        let start = self.pos;
+        while self.pos < self.bytes.len() && self.peek(0) != b'\n' {
+            self.bump();
+        }
+        self.out.comments.push(LineComment {
+            text: &self.src[start..self.pos],
+            line,
+            is_trailing,
+            is_doc,
+        });
+    }
+
+    /// Block comments nest in Rust: `/* outer /* inner */ still comment */`.
+    fn block_comment(&mut self) {
+        self.bump_n(2);
+        let mut depth = 1u32;
+        while self.pos < self.bytes.len() && depth > 0 {
+            if self.peek(0) == b'/' && self.peek(1) == b'*' {
+                depth += 1;
+                self.bump_n(2);
+            } else if self.peek(0) == b'*' && self.peek(1) == b'/' {
+                depth -= 1;
+                self.bump_n(2);
+            } else {
+                self.bump();
+            }
+        }
+    }
+
+    /// At `r"`, `r#"…"#`, or `r#ident`. Raw strings close only on a quote
+    /// followed by the same number of hashes that opened them.
+    fn raw_or_ident(&mut self) {
+        let start = self.pos;
+        let line = self.line;
+        let mut hashes = 0usize;
+        while self.peek(1 + hashes) == b'#' {
+            hashes += 1;
+        }
+        if self.peek(1 + hashes) == b'"' {
+            self.bump_n(1 + hashes + 1); // `r`, hashes, opening quote
+            self.raw_body(hashes);
+            self.emit(TokenKind::Str, start, line);
+        } else if hashes == 1 && is_ident_start(self.peek(2)) {
+            // Raw identifier `r#match`: emit the bare name so rules see
+            // the same token for `r#unwrap` and `unwrap`.
+            self.bump_n(2);
+            let name_start = self.pos;
+            while is_ident_continue(self.peek(0)) {
+                self.bump();
+            }
+            self.out.tokens.push(Token {
+                kind: TokenKind::Ident,
+                text: &self.src[name_start..self.pos],
+                line,
+            });
+            self.line_had_token = true;
+        } else {
+            // Plain identifier starting with `r` handled by the main loop
+            // is unreachable here (`r` is followed by `"` or `#`); treat a
+            // malformed `r#` as punctuation and move on.
+            self.bump_n(1);
+            self.emit(TokenKind::Ident, start, line);
+        }
+    }
+
+    /// Consumes a raw-string body after its opening quote.
+    fn raw_body(&mut self, hashes: usize) {
+        while self.pos < self.bytes.len() {
+            if self.peek(0) == b'"' {
+                let mut closing = 0usize;
+                while closing < hashes && self.peek(1 + closing) == b'#' {
+                    closing += 1;
+                }
+                if closing == hashes {
+                    self.bump_n(1 + hashes);
+                    return;
+                }
+            }
+            self.bump();
+        }
+    }
+
+    /// Handles `b"…"`, `b'…'`, `br"…"`, `br#"…"#`, `c"…"`, `cr#"…"#`
+    /// prefixes. Returns `true` when a literal was consumed; `false` means
+    /// the `b`/`c` starts an ordinary identifier and the main loop should
+    /// lex it.
+    fn string_prefix(&mut self) -> bool {
+        let start = self.pos;
+        let line = self.line;
+        let second = self.peek(1);
+        if second == b'"' {
+            self.bump();
+            self.string_from(start, line);
+            true
+        } else if self.peek(0) == b'b' && second == b'\'' {
+            self.bump();
+            self.char_from(start, line);
+            true
+        } else if second == b'r' && (self.peek(2) == b'"' || self.peek(2) == b'#') {
+            let mut hashes = 0usize;
+            while self.peek(2 + hashes) == b'#' {
+                hashes += 1;
+            }
+            if self.peek(2 + hashes) != b'"' {
+                return false; // `br#x` — not a literal; lex as ident
+            }
+            self.bump_n(2 + hashes + 1);
+            self.raw_body(hashes);
+            self.emit(TokenKind::Str, start, line);
+            true
+        } else {
+            false
+        }
+    }
+
+    fn string(&mut self) {
+        let start = self.pos;
+        let line = self.line;
+        self.string_from(start, line);
+    }
+
+    /// Consumes `"…"` with escapes, starting at the opening quote.
+    fn string_from(&mut self, start: usize, line: u32) {
+        self.bump(); // opening `"`
+        while self.pos < self.bytes.len() {
+            match self.peek(0) {
+                b'\\' => self.bump_n(2),
+                b'"' => {
+                    self.bump();
+                    break;
+                }
+                _ => self.bump(),
+            }
+        }
+        self.emit(TokenKind::Str, start, line);
+    }
+
+    /// At a `'`: a character literal (`'x'`, `'\n'`, `'\u{1F600}'`) or a
+    /// lifetime (`'a`, `'static`, `'_`). The naive-scanner trap: both start
+    /// identically, and only the presence of a closing quote decides.
+    fn quote(&mut self) {
+        let start = self.pos;
+        let line = self.line;
+        self.char_from(start, line);
+    }
+
+    /// At a `'` (with `start` possibly one byte earlier, at a `b` prefix):
+    /// consumes a char/byte literal or a lifetime.
+    fn char_from(&mut self, start: usize, line: u32) {
+        self.bump(); // `'`
+        if self.peek(0) == b'\\' {
+            // Escaped char literal: consume escape, then to closing quote.
+            self.bump_n(2);
+            while self.pos < self.bytes.len() && self.peek(0) != b'\'' {
+                self.bump();
+            }
+            self.bump();
+            self.emit(TokenKind::Char, start, line);
+        } else if is_ident_start(self.peek(0)) {
+            // `'a…`: lifetime unless a quote immediately closes one
+            // ident-char later (`'a'` is a char; `'ab'` is not valid Rust,
+            // and `'a'` inside generics cannot occur — `<'a>` closes with
+            // `>`). Look ahead: single ident char + `'` ⇒ char literal.
+            let mut len = 0usize;
+            while is_ident_continue(self.peek(len)) {
+                len += 1;
+            }
+            if len == 1 && self.peek(1) == b'\'' {
+                self.bump_n(2);
+                self.emit(TokenKind::Char, start, line);
+            } else {
+                self.bump_n(len);
+                self.emit(TokenKind::Lifetime, start, line);
+            }
+        } else if self.peek(0) != 0 {
+            // Non-ASCII or punctuation char literal: `'∞'`, `'.'`.
+            self.bump();
+            while self.pos < self.bytes.len() && self.peek(0) != b'\'' {
+                self.bump();
+            }
+            self.bump();
+            self.emit(TokenKind::Char, start, line);
+        }
+    }
+
+    fn number(&mut self) {
+        let start = self.pos;
+        let line = self.line;
+        while self.pos < self.bytes.len() {
+            let b = self.peek(0);
+            if b.is_ascii_alphanumeric() || b == b'_' {
+                self.bump();
+            } else if b == b'.' && self.peek(1).is_ascii_digit() {
+                // `1.5` continues the literal; `1..n` does not (the range
+                // dots lex as punctuation).
+                self.bump();
+            } else if (b == b'+' || b == b'-') && matches!(self.bytes[self.pos - 1], b'e' | b'E') {
+                // Exponent sign inside `2.5e-3`.
+                self.bump();
+            } else {
+                break;
+            }
+        }
+        self.emit(TokenKind::Number, start, line);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<(TokenKind, String)> {
+        lex(src)
+            .tokens
+            .into_iter()
+            .map(|t| (t.kind, t.text.to_string()))
+            .collect()
+    }
+
+    fn idents(src: &str) -> Vec<String> {
+        lex(src)
+            .tokens
+            .into_iter()
+            .filter(|t| t.kind == TokenKind::Ident)
+            .map(|t| t.text.to_string())
+            .collect()
+    }
+
+    #[test]
+    fn raw_strings_with_hashes_hide_their_contents() {
+        // A naive scanner stops at the first `"` and then lexes
+        // `.unwrap()` as code; the hash-counted closer must win.
+        let src = r####"let s = r#"not ".unwrap()" yet "# ; done"####;
+        let toks = kinds(src);
+        assert!(toks
+            .iter()
+            .any(|(k, t)| *k == TokenKind::Str && t.contains("unwrap")));
+        assert!(!idents(src).contains(&"unwrap".to_string()));
+        assert!(idents(src).contains(&"done".to_string()));
+        // Double-hash strings may contain a single-hash closer.
+        let deep = r####"r##"still " # "# going"## after"####;
+        assert!(idents(deep) == vec!["after"]);
+    }
+
+    #[test]
+    fn nested_block_comments_need_depth_counting() {
+        let src = "before /* outer /* inner */ still.unwrap() */ after";
+        assert_eq!(idents(src), vec!["before", "after"]);
+    }
+
+    #[test]
+    fn lifetimes_are_not_char_literals() {
+        // `'a` must not open a char literal and swallow `>` and beyond.
+        let src = "fn f<'a>(x: &'a str, c: char) { let y = 'q'; let z = '\\n'; }";
+        let toks = kinds(src);
+        let lifetimes: Vec<_> = toks
+            .iter()
+            .filter(|(k, _)| *k == TokenKind::Lifetime)
+            .collect();
+        assert_eq!(lifetimes.len(), 2, "{toks:?}");
+        let chars: Vec<_> = toks.iter().filter(|(k, _)| *k == TokenKind::Char).collect();
+        assert_eq!(chars.len(), 2, "{toks:?}");
+        assert!(idents(src).contains(&"str".to_string()));
+        // `'static` and `'_` are lifetimes too; `'∞'` is a char.
+        let more = "&'static str; &'_ u8; let inf = '∞';";
+        let toks = kinds(more);
+        assert_eq!(
+            toks.iter()
+                .filter(|(k, _)| *k == TokenKind::Lifetime)
+                .count(),
+            2
+        );
+        assert!(toks
+            .iter()
+            .any(|(k, t)| *k == TokenKind::Char && t == "'∞'"));
+    }
+
+    #[test]
+    fn raw_identifiers_lex_as_their_bare_name() {
+        // `r#unwrap` must surface as the ident `unwrap` (rules see through
+        // the raw prefix), and `r#match` as `match` — not as a raw string.
+        assert_eq!(idents("r#unwrap(); r#match"), vec!["unwrap", "match"]);
+    }
+
+    #[test]
+    fn byte_strings_and_byte_chars_are_literals() {
+        let src = r##"let a = b"panic!"; let b = br#" .unwrap() "#; let c = b'x'; rest"##;
+        assert!(!idents(src).contains(&"unwrap".to_string()));
+        assert!(!idents(src).contains(&"panic".to_string()));
+        assert!(idents(src).contains(&"rest".to_string()));
+        let toks = kinds(src);
+        assert!(toks
+            .iter()
+            .any(|(k, t)| *k == TokenKind::Char && t == "b'x'"));
+    }
+
+    #[test]
+    fn escaped_quotes_do_not_terminate_strings() {
+        let src = r#"let s = "he said \".unwrap()\" loudly"; tail"#;
+        assert_eq!(idents(src), vec!["let", "s", "tail"]);
+    }
+
+    #[test]
+    fn comments_record_position_and_docness() {
+        let src = "let x = 1; // trailing note\n// standalone\n/// doc\nlet y = 2;\n";
+        let lexed = lex(src);
+        let c = &lexed.comments;
+        assert_eq!(c.len(), 3);
+        assert!(c[0].is_trailing && !c[0].is_doc && c[0].line == 1);
+        assert!(!c[1].is_trailing && !c[1].is_doc && c[1].line == 2);
+        assert!(c[2].is_doc);
+    }
+
+    #[test]
+    fn numbers_keep_suffixes_and_do_not_eat_ranges() {
+        let toks = kinds("0..10u64; 1_000i32; 0x1f; 2.5e-3f64");
+        let nums: Vec<_> = toks
+            .iter()
+            .filter(|(k, _)| *k == TokenKind::Number)
+            .map(|(_, t)| t.as_str())
+            .collect();
+        assert_eq!(nums, vec!["0", "10u64", "1_000i32", "0x1f", "2.5e-3f64"]);
+    }
+
+    #[test]
+    fn line_numbers_survive_multiline_tokens() {
+        let src = "alpha\n/* two\nlines */\nr#\"raw\nstring\"#\nomega";
+        let lexed = lex(src);
+        let omega = lexed.tokens.last().unwrap();
+        assert_eq!((omega.text, omega.line), ("omega", 6));
+    }
+}

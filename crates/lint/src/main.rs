@@ -1,0 +1,98 @@
+//! `sm-lint` CLI: `cargo run -p sm-lint -- --workspace`.
+//!
+//! Exit code 0 when every deny-severity finding is waived (with a
+//! reason); 1 otherwise. Waiver counts are always printed so suppressed
+//! debt stays visible in CI logs.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+fn usage() -> &'static str {
+    "usage: sm-lint [--workspace] [--root <dir>] [--list-rules] [--verbose]\n\
+     \n\
+     --workspace   lint the enclosing cargo workspace (default)\n\
+     --root <dir>  lint <dir> instead of the detected workspace root\n\
+     --list-rules  print the rule catalog and exit\n\
+     --verbose     also print waived findings and waiver reasons"
+}
+
+/// Nearest ancestor of the current directory whose `Cargo.toml` declares
+/// `[workspace]`; falls back to the compile-time workspace root so the
+/// binary also works when invoked from outside the tree.
+fn detect_root() -> PathBuf {
+    if let Ok(cwd) = std::env::current_dir() {
+        let mut dir = cwd.as_path();
+        loop {
+            let manifest = dir.join("Cargo.toml");
+            if let Ok(text) = std::fs::read_to_string(&manifest) {
+                if text.contains("[workspace]") {
+                    return dir.to_path_buf();
+                }
+            }
+            match dir.parent() {
+                Some(parent) => dir = parent,
+                None => break,
+            }
+        }
+    }
+    PathBuf::from(concat!(env!("CARGO_MANIFEST_DIR"), "/../.."))
+}
+
+fn main() -> ExitCode {
+    let mut root: Option<PathBuf> = None;
+    let mut verbose = false;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--workspace" => {}
+            "--root" => match args.next() {
+                Some(dir) => root = Some(PathBuf::from(dir)),
+                None => {
+                    eprintln!("--root needs a directory\n{}", usage());
+                    return ExitCode::FAILURE;
+                }
+            },
+            "--list-rules" => {
+                for id in sm_lint::RULE_IDS {
+                    println!("{id}");
+                }
+                return ExitCode::SUCCESS;
+            }
+            "--verbose" | "-v" => verbose = true,
+            "--help" | "-h" => {
+                println!("{}", usage());
+                return ExitCode::SUCCESS;
+            }
+            other => {
+                eprintln!("unknown argument `{other}`\n{}", usage());
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    let root = root.unwrap_or_else(detect_root);
+    let report = match sm_lint::lint_workspace(&root) {
+        Ok(report) => report,
+        Err(e) => {
+            eprintln!("sm-lint: cannot scan {}: {e}", root.display());
+            return ExitCode::FAILURE;
+        }
+    };
+    for finding in &report.findings {
+        if finding.waived && !verbose {
+            continue;
+        }
+        let tag = if finding.waived { " (waived)" } else { "" };
+        println!("{finding}{tag}\n");
+    }
+    if verbose {
+        for w in &report.waivers {
+            println!("waiver {}:{} [{}] — {}", w.path, w.line, w.rule, w.reason);
+        }
+    }
+    print!("{}", report.summary());
+    if report.is_clean() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}

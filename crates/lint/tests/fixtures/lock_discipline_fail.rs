@@ -1,0 +1,17 @@
+//@ path: crates/experiments/src/fixture.rs
+// Workers must not block on locks, and guard entry points must not nest.
+use std::sync::Mutex;
+
+pub fn bad(items: &[u32], shared: &Mutex<u64>) -> Vec<u64> {
+    parallel_map(items, |x| {
+        let mut g = shared.lock().unwrap(); //~ deny(lock-discipline)
+        *g += u64::from(*x);
+        *g
+    })
+}
+
+pub fn nested(items: &[u32]) -> Vec<Vec<u32>> {
+    parallel_map(items, |x| {
+        parallel_map(&[*x], |y| *y) //~ deny(lock-discipline)
+    })
+}

@@ -1,0 +1,8 @@
+//@ path: crates/experiments/src/fixture.rs
+// Read shared state before fanning out; keep the closure pure.
+use std::sync::Mutex;
+
+pub fn good(items: &[u32], shared: &Mutex<u64>) -> Vec<u64> {
+    let base = *shared.lock().unwrap();
+    parallel_map(items, |x| base + u64::from(*x) * 2)
+}

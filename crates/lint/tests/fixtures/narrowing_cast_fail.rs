@@ -1,0 +1,12 @@
+//@ path: crates/workload/src/fixture.rs
+// Casts whose source the lexer cannot bound must be waived or rewritten.
+
+pub fn narrow(a: u64, b: usize, c: i64, d: f64) -> (u32, u8, i32, f32, isize) {
+    (
+        a as u32,   //~ deny(narrowing-cast)
+        b as u8,    //~ deny(narrowing-cast)
+        c as i32,   //~ deny(narrowing-cast)
+        d as f32,   //~ deny(narrowing-cast)
+        b as isize, //~ deny(narrowing-cast)
+    )
+}

@@ -1,0 +1,11 @@
+//@ path: crates/workload/src/fixture.rs
+// Widening-by-convention targets (u64/i64/u128/i128/f64/usize) and
+// literals that provably fit pass without a waiver.
+
+pub fn widen(a: u32, b: u8, c: i32) -> (u64, usize, i64, f64, u128) {
+    (a as u64, b as usize, c as i64, a as f64, a as u128)
+}
+
+pub fn literals() -> (u8, u32, i16, f32) {
+    (255 as u8, 10_000 as u32, 7u8 as i16, 1024u16 as f32)
+}

@@ -1,0 +1,16 @@
+//@ path: crates/serve/src/fixture.rs
+// Hot-path panic surface: every construct below must be flagged.
+
+pub fn ingest(x: Option<u32>, r: Result<u32, ()>) -> u32 {
+    let a = x.unwrap(); //~ deny(no-panic-surface)
+    let b = r.expect("boom"); //~ deny(no-panic-surface)
+    if a > b {
+        panic!("a > b"); //~ deny(no-panic-surface)
+    }
+    match a {
+        0 => unreachable!(), //~ deny(no-panic-surface)
+        _ => {}
+    }
+    assert!(a <= b); //~ deny(no-panic-surface)
+    a + b
+}

@@ -1,0 +1,6 @@
+//@ path: crates/cli/src/main.rs
+// The rule scopes to the serving hot paths; CLI code may unwrap.
+
+pub fn parse(arg: Option<&str>) -> u32 {
+    arg.unwrap().parse().unwrap()
+}

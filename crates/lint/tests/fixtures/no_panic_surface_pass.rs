@@ -1,0 +1,17 @@
+//@ path: crates/serve/src/fixture.rs
+// The sanctioned alternatives: fallible plumbing, debug_assert (compiles
+// out of release), and test-masked code are all invisible to the rule.
+
+pub fn ingest(x: Option<u32>) -> Result<u32, &'static str> {
+    let v = x.ok_or("missing")?;
+    debug_assert!(v < 1_000_000);
+    Ok(v)
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn unwrap_is_fine_in_tests() {
+        assert_eq!(super::ingest(Some(3)).unwrap(), 3);
+    }
+}

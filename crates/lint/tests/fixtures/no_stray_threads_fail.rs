@@ -1,0 +1,9 @@
+//@ path: crates/sim/src/fixture.rs
+// Thread creation outside sm-core escapes the nesting guard.
+
+pub fn stray() {
+    std::thread::spawn(|| {}); //~ deny(no-stray-threads)
+    let builder = std::thread::Builder::new(); //~ deny(no-stray-threads)
+    drop(builder);
+    std::thread::scope(|_s| {}); //~ deny(no-stray-threads)
+}

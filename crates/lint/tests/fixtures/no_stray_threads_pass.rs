@@ -1,0 +1,11 @@
+//@ path: crates/core/src/fixture.rs
+// Thread creation is sm-core's job: the rule does not apply here.
+
+pub fn confined(items: &[u32]) -> u32 {
+    let mut total = 0;
+    std::thread::scope(|s| {
+        s.spawn(|| {});
+        total = items.iter().sum();
+    });
+    total
+}

@@ -1,0 +1,11 @@
+//@ path: crates/server/src/fixture.rs
+// `let _ =` discards are presumed to be swallowed Results.
+
+pub fn swallow() {
+    let _ = std::fs::remove_file("stale.lock"); //~ deny(swallowed-results)
+    let _ = fallible(); //~ deny(swallowed-results)
+}
+
+fn fallible() -> Result<(), ()> {
+    Ok(())
+}

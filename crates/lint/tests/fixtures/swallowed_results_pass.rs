@@ -1,0 +1,14 @@
+//@ path: crates/server/src/fixture.rs
+// fmt::Write into a String cannot fail: the sanctioned discard. Named
+// bindings are not discards.
+use std::fmt::Write;
+
+pub fn render(rows: &[u64]) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "rows: {}", rows.len());
+    for r in rows {
+        let _ = write!(out, "{r} ");
+    }
+    let trimmed = out.trim_end().to_string();
+    trimmed
+}

@@ -1,0 +1,20 @@
+//@ path: crates/serve/src/fixture.rs
+// Everything lexically inside #[cfg(test)] / #[test] items is invisible
+// to every rule, even in a hot-path crate.
+
+pub fn live(x: Option<u32>) -> Option<u32> {
+    x.map(|v| v + 1)
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn panics_freely() {
+        let v: u64 = 1 << 40;
+        let narrow = v as u32;
+        assert_eq!(narrow, 0);
+        assert_eq!(super::live(Some(0)).unwrap(), 1);
+        let _ = std::fs::remove_file("x");
+        std::thread::spawn(|| {});
+    }
+}

@@ -1,0 +1,15 @@
+//@ path: crates/workload/src/fixture.rs
+// A waiver without a reason is rejected AND does not suppress, and a
+// waiver naming an unknown rule is rejected.
+
+pub fn f(x: u64) -> u32 {
+    x as u32 // sm-lint: allow(narrowing-cast)
+    //~^ deny(narrowing-cast)
+    //~^^ deny(waiver)
+}
+
+pub fn g(y: u64) -> u64 {
+    // sm-lint: allow(no-such-rule) — typo'd rule id
+    //~^ deny(waiver)
+    y + 1
+}

@@ -1,0 +1,7 @@
+//@ path: crates/workload/src/fixture.rs
+// A waiver that suppresses nothing is itself a finding: stale debt
+// annotations must not accumulate.
+
+// sm-lint: allow(narrowing-cast) — nothing below narrows
+//~^ deny(waiver)
+pub fn nothing() {}

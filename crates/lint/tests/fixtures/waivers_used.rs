@@ -1,0 +1,12 @@
+//@ path: crates/workload/src/fixture.rs
+// Both waiver positions: trailing on the finding line, standalone above
+// it. Either way the finding is reported but waived.
+
+pub fn packed(a: u64, b: u64) -> (u32, u32) {
+    let hi = a as u32; // sm-lint: allow(narrowing-cast) — a is masked to 32 bits upstream
+    //~^ waived(narrowing-cast)
+    // sm-lint: allow(narrowing-cast) — b counts items, < 2^32 by construction
+    let lo = b as u32;
+    //~^ waived(narrowing-cast)
+    (hi, lo)
+}

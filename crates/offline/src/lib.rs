@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 //! Optimal off-line algorithms for delay-guaranteed stream merging
 //! (paper §3) plus the general-arrivals machinery of \[6\] used as a baseline.
 //!

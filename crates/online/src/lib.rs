@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 //! On-line algorithms (paper §4).
 //!
 //! * [`delay_guaranteed`] — the paper's on-line algorithm: without knowing

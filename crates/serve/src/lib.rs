@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 //! Long-running serving facade: a push-based ingest loop over the
 //! incremental engine.
 //!

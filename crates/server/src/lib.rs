@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 //! Multi-object Media-on-Demand server — the §5 "future work" of the paper,
 //! built out.
 //!

@@ -180,6 +180,7 @@ pub fn brute_force_plan(
 ) -> Option<DelayPlan> {
     let k = catalog.len();
     let c = candidates_minutes.len();
+    // sm-lint: allow(narrowing-cast) — k is the catalog size; the 10^6 space assert below rejects anything near 2^32
     let space = (c as u128).checked_pow(k as u32).expect("space overflow");
     assert!(space <= 1_000_000, "brute force space too large: {space}");
     let memo = PlannerMemo::new();

@@ -560,7 +560,10 @@ fn receive_two_sweep(scratch: &EvalScratch, global: usize) -> Result<usize, SimE
             (Some(&s), Some(&(e, _))) => s.min(e),
             (Some(&s), None) => s,
             (None, Some(&(e, _))) => e,
-            (None, None) => unreachable!("loop condition"),
+            // Unreachable (the loop condition keeps one side non-empty),
+            // but exiting the loop is the honest fallback: the tail checks
+            // still run and no panic surface is introduced.
+            (None, None) => break,
         };
         let before = count;
         while ei < ends.len() && ends[ei].0 == slot {

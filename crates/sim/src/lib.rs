@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 //! Discrete-event Media-on-Demand simulator — the correctness oracle of the
 //! reproduction.
 //!

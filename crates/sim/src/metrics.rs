@@ -58,6 +58,7 @@ impl BandwidthProfile {
                 i += 1;
             }
             if cur != before {
+                // sm-lint: allow(narrowing-cast) — cur counts concurrently transmitting streams, one per schedule entry, and never goes negative on valid schedules
                 changes.push((slot, cur as u32));
             }
         }

@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 //! Workload generation for the empirical section (§4.2).
 //!
 //! The paper's experiments use two client arrival patterns over a horizon of

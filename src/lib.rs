@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 //! # stream-merging
 //!
 //! A complete implementation of **guaranteed start-up delay Media-on-Demand

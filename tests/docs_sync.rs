@@ -73,7 +73,7 @@ fn readme_workspace_map_matches_cargo_members() {
             crates_seen += 1;
         }
     }
-    assert_eq!(crates_seen, 12, "expected the 12 sm-* workspace members");
+    assert_eq!(crates_seen, 13, "expected the 13 sm-* workspace members");
 }
 
 #[test]
@@ -126,6 +126,57 @@ fn architecture_documents_the_runtime_pieces() {
     assert!(
         read("ROADMAP.md").contains("ARCHITECTURE.md"),
         "ROADMAP.md must cross-link ARCHITECTURE.md"
+    );
+}
+
+/// The rule ids `sm-lint` actually ships, parsed from its `RULE_IDS`
+/// array — the same source of truth the CLI's `--list-rules` prints.
+fn shipped_lint_rules() -> Vec<String> {
+    let lib = read("crates/lint/src/lib.rs");
+    let array = lib
+        .split("pub const RULE_IDS")
+        .nth(1)
+        .expect("crates/lint/src/lib.rs must declare RULE_IDS")
+        .split("];")
+        .next()
+        .expect("unterminated RULE_IDS array");
+    array
+        .split('"')
+        .skip(1)
+        .step_by(2)
+        .map(str::to_string)
+        .collect()
+}
+
+#[test]
+fn architecture_rule_catalog_matches_shipped_lint_rules() {
+    let rules = shipped_lint_rules();
+    assert_eq!(rules.len(), 5, "sm-lint ships five rules, got {rules:?}");
+    let arch = read("ARCHITECTURE.md");
+    for rule in &rules {
+        assert!(
+            arch.contains(&format!("`{rule}`")),
+            "ARCHITECTURE.md's rule catalog is missing shipped rule `{rule}`"
+        );
+        let snake = rule.replace('-', "_");
+        for kind in ["fail", "pass"] {
+            let fixture = root().join(format!("crates/lint/tests/fixtures/{snake}_{kind}.rs"));
+            assert!(
+                fixture.exists(),
+                "rule `{rule}` is missing its {kind} fixture at {}",
+                fixture.display()
+            );
+        }
+    }
+    // The pass is only a gate if CI actually runs it, on both toolchains.
+    let ci = read(".github/workflows/ci.yml");
+    assert!(
+        ci.contains("cargo run -p sm-lint") && ci.contains("-- --workspace"),
+        "CI must run `cargo run -p sm-lint … -- --workspace` as its own leg"
+    );
+    assert!(
+        ci.contains("cargo test -q -p sm-lint"),
+        "CI must run the sm-lint unit and fixture suites explicitly"
     );
 }
 
