@@ -1,4 +1,5 @@
-//! Scale: the event-driven engine at a million arrivals.
+#![allow(unsafe_code)] // counting #[global_allocator]: raw-pointer plumbing by design
+//! Scale: the event-driven engine at ten million arrivals.
 //!
 //! Three million-client shapes, all streamed through
 //! [`sm_sim::simulate_streaming`] so per-client reports are consumed and
@@ -32,13 +33,21 @@
 //! lands in the JSON (`memo_hits`).
 //!
 //! `SM_SCALE_ARRIVALS` overrides the arrival count (CI smoke-runs a small
-//! N; the default is 10⁶). Besides the criterion timings, one dedicated
+//! N; the default is 10⁷). Besides the criterion timings, one dedicated
 //! measured run per case is appended to a machine-readable
 //! `BENCH_scale.json` (workspace root, or the `SM_BENCH_JSON` path) so the
 //! perf trajectory accumulates across commits.
+//!
+//! The bench binary installs a counting `#[global_allocator]` (the
+//! workspace's only sanctioned `unsafe`, shared with
+//! `tests/alloc_budget.rs`): each case's dedicated run records
+//! `allocations_per_arrival` — heap allocations observed on the driving
+//! thread during the run, divided by arrivals and floored. The arena-backed
+//! events/incremental engines are allocation-free in steady state, so their
+//! O(log n) warm-up allocations floor to **0**; CI gates on exactly that.
 
 use criterion::{criterion_group, criterion_main, Criterion};
-use sm_core::{consecutive_slots, MergeForest, MergeTree};
+use sm_core::{alloc_counter, consecutive_slots, MergeForest, MergeTree};
 use sm_online::DelayGuaranteedOnline;
 use sm_server::{
     plan_weighted, simulate_dynamic, simulate_dynamic_sequential, simulate_dynamic_with, Catalog,
@@ -46,14 +55,41 @@ use sm_server::{
 };
 use sm_sim::{simulate_incremental, simulate_streaming_slice, SimConfig, StreamingSummary};
 use sm_workload::{deep_chain_forest, ArrivalProcess, FlashCrowd};
+use std::alloc::{GlobalAlloc, Layout, System};
 use std::hint::black_box;
 use std::time::Instant;
+
+/// The system allocator wrapped with `sm_core::alloc_counter` bookkeeping:
+/// every allocation on the driving thread lands in the per-thread counters
+/// behind the `allocations_per_arrival` JSON field.
+struct CountingAlloc;
+
+// SAFETY: every operation delegates verbatim to `System`; the counter
+// update is allocation-free and panic-free (see `sm_core::alloc_counter`).
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        alloc_counter::note_alloc(layout.size());
+        System.alloc(layout)
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout)
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        alloc_counter::note_alloc(new_size);
+        System.realloc(ptr, layout, new_size)
+    }
+}
+
+#[global_allocator]
+static ALLOC: CountingAlloc = CountingAlloc;
 
 fn scale_arrivals() -> usize {
     std::env::var("SM_SCALE_ARRIVALS")
         .ok()
         .and_then(|v| v.parse().ok())
-        .unwrap_or(1_000_000)
+        .unwrap_or(10_000_000)
 }
 
 /// Batches co-slot arrivals into star trees: every occupied slot opens one
@@ -98,6 +134,12 @@ struct CaseResult {
     /// High-water mark of simultaneously retained merge trees: the
     /// incremental engine's memory gauge, 0 for every other spine.
     max_open_trees: usize,
+    /// Heap allocations observed on the driving thread during the measured
+    /// run, divided by `arrivals` and floored. The arena-backed
+    /// events/incremental engines allocate only O(log n) warm-up storage,
+    /// so this is 0 for them (CI-gated); the dynamic-server spines report
+    /// their genuine per-epoch allocation traffic.
+    allocations_per_arrival: u64,
 }
 
 /// One dedicated timed streaming run (outside the criterion sampling),
@@ -108,6 +150,7 @@ fn timed_case(
     times: &[i64],
     media_len: u64,
 ) -> (CaseResult, StreamingSummary) {
+    let ckpt = alloc_counter::checkpoint();
     let t0 = Instant::now();
     let mut served = 0usize;
     let summary =
@@ -117,6 +160,7 @@ fn timed_case(
         })
         .expect("scale shapes must execute");
     let wall_ms = t0.elapsed().as_secs_f64() * 1e3;
+    let allocs = ckpt.allocations_since();
     assert_eq!(served, times.len());
     (
         CaseResult {
@@ -128,6 +172,7 @@ fn timed_case(
             total_units: summary.total_units,
             memo_hits: 0,
             max_open_trees: 0,
+            allocations_per_arrival: allocs / times.len().max(1) as u64,
         },
         summary,
     )
@@ -166,7 +211,7 @@ fn dynamic_workload(epoch_count: usize, epoch_minutes: u64) -> (Vec<Epoch>, u64,
 /// trajectory); reduced-N smoke runs (`SM_SCALE_ARRIVALS` set) go to
 /// `BENCH_scale_smoke.json` — committed too, so `tests/docs_sync.rs` can
 /// validate its schema, but refreshed by CI's smoke step rather than by
-/// full-size runs — so they never clobber the committed 10⁶-arrival
+/// full-size runs — so they never clobber the committed 10⁷-arrival
 /// datapoints. `SM_BENCH_JSON` overrides the path outright.
 fn write_bench_json(results: &[CaseResult]) {
     let default_path = if std::env::var_os("SM_SCALE_ARRIVALS").is_some() {
@@ -182,7 +227,7 @@ fn write_bench_json(results: &[CaseResult]) {
             "    {{\"name\": \"{}\", \"arrivals\": {}, \"engine\": \"{}\", \
              \"wall_ms\": {:.3}, \"peak_streams\": {}, \"total_units\": {}, \
              \"memo_hits\": {}, \"ns_per_arrival\": {:.1}, \
-             \"max_open_trees\": {}}}{}\n",
+             \"max_open_trees\": {}, \"allocations_per_arrival\": {}}}{}\n",
             r.name,
             r.arrivals,
             r.engine,
@@ -192,6 +237,7 @@ fn write_bench_json(results: &[CaseResult]) {
             r.memo_hits,
             r.wall_ms * 1e6 / r.arrivals.max(1) as f64,
             r.max_open_trees,
+            r.allocations_per_arrival,
             if i + 1 < results.len() { "," } else { "" }
         ));
     }
@@ -243,6 +289,7 @@ fn bench_scale(c: &mut Criterion) {
     // smoke JSON on both): the run is bit-identical to the batch events
     // engine, and the amortized ingest cost (`ns_per_arrival`) stays
     // within 1.5x of it — push-based serving must not tax throughput.
+    let ckpt = alloc_counter::checkpoint();
     let t0 = Instant::now();
     let mut served = 0usize;
     let inc = simulate_incremental(&forest, &times, media_len, SimConfig::events(), |report| {
@@ -251,6 +298,7 @@ fn bench_scale(c: &mut Criterion) {
     })
     .expect("DG plan must ingest");
     let inc_ms = t0.elapsed().as_secs_f64() * 1e3;
+    let inc_allocs = ckpt.allocations_since();
     assert_eq!(served, n);
     assert_eq!(
         inc.summary, dg_summary,
@@ -274,6 +322,7 @@ fn bench_scale(c: &mut Criterion) {
         total_units: inc.summary.total_units,
         memo_hits: 0,
         max_open_trees: inc.max_open_trees,
+        allocations_per_arrival: inc_allocs / n.max(1) as u64,
     });
     g.bench_function(format!("serve_incremental_L{media_len}_n{n}"), |b| {
         b.iter(|| {
@@ -387,10 +436,12 @@ fn bench_scale(c: &mut Criterion) {
     // Warm OS/allocator state so no spine pays a cold-start cost.
     let _ = simulate_dynamic(&epochs, budget, &candidates, horizon)
         .expect("bench epochs must be plannable");
+    let ckpt = alloc_counter::checkpoint();
     let t0 = Instant::now();
     let seq = simulate_dynamic_sequential(&epochs, budget, &candidates, horizon)
         .expect("bench epochs must be plannable");
     let seq_ms = t0.elapsed().as_secs_f64() * 1e3;
+    let seq_allocs = ckpt.allocations_since();
     let dynamic_units = seq.per_minute.iter().sum::<u64>() as i64;
     results.push(CaseResult {
         name: format!("server_dynamic_E{epoch_count}"),
@@ -401,6 +452,9 @@ fn bench_scale(c: &mut Criterion) {
         total_units: dynamic_units,
         memo_hits: 0,
         max_open_trees: 0,
+        // Per-epoch, not per-arrival: dynamic cases count epochs (the
+        // planning spines allocate genuinely, on the driving thread).
+        allocations_per_arrival: seq_allocs / epoch_count.max(1) as u64,
     });
     for plan_ahead in [1usize, 2, 4] {
         let memo = (plan_ahead > 1).then(PlannerMemo::new);
@@ -408,10 +462,12 @@ fn bench_scale(c: &mut Criterion) {
             plan_ahead,
             memo: memo.clone(),
         };
+        let ckpt = alloc_counter::checkpoint();
         let t0 = Instant::now();
         let piped = simulate_dynamic_with(&epochs, budget, &candidates, horizon, &config)
             .expect("bench epochs must be plannable");
         let piped_ms = t0.elapsed().as_secs_f64() * 1e3;
+        let piped_allocs = ckpt.allocations_since();
         if let Some(diff) = piped.deterministic_diff(&seq) {
             panic!("K = {plan_ahead} diverges from the sequential spine: {diff}");
         }
@@ -436,6 +492,7 @@ fn bench_scale(c: &mut Criterion) {
             total_units: dynamic_units,
             memo_hits,
             max_open_trees: 0,
+            allocations_per_arrival: piped_allocs / epoch_count.max(1) as u64,
         });
         g.bench_function(
             format!("server_dynamic_pipelined_E{epoch_count}_k{plan_ahead}"),

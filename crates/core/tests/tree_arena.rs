@@ -1,0 +1,144 @@
+//! `TreeArena` ↔ `MergeTree` conformance: the flat `u32`-column arena must
+//! agree with the pointer-shaped tree on every structural query, on
+//! exhaustive small trees and property-sampled larger ones, and reject
+//! `u32` overflow as a typed error rather than a panic.
+
+use proptest::prelude::*;
+use sm_core::{MergeTree, ModelError, TreeArena};
+
+/// Asserts every structural accessor of `arena` matches `tree`.
+fn assert_conforms(tree: &MergeTree, arena: &TreeArena) {
+    assert_eq!(arena.len(), tree.len());
+    assert!(
+        !arena.is_empty(),
+        "trees are nonempty, so lowered arenas are"
+    );
+    for x in 0..tree.len() {
+        assert_eq!(arena.parent(x), tree.parent(x), "parent({x})");
+        assert_eq!(
+            arena.children(x).collect::<Vec<_>>(),
+            tree.children(x)
+                .iter()
+                .map(|&c| c as usize)
+                .collect::<Vec<_>>(),
+            "children({x})"
+        );
+        assert_eq!(
+            arena.last_descendant(x),
+            tree.last_descendant(x),
+            "last_descendant({x})"
+        );
+        assert_eq!(arena.path_from_root(x), tree.path_from_root(x), "path({x})");
+    }
+    assert_eq!(arena.preorder(), tree.preorder(), "preorder");
+    assert_eq!(arena.to_parents(), tree.to_parents(), "to_parents");
+}
+
+/// Every valid parent array of length `n` (each node picks any earlier
+/// parent), visited via a mixed-radix counter: `(n-1)!`-ish shapes — 5040
+/// at `n = 8`, 5914 over `n = 1..=8`.
+fn for_each_parent_array(n: usize, mut f: impl FnMut(&[Option<usize>])) {
+    let mut parents: Vec<Option<usize>> = vec![None];
+    parents.extend((1..n).map(|_| Some(0)));
+    loop {
+        f(&parents);
+        // Increment the mixed-radix counter: digit i counts 0..i.
+        let mut i = n;
+        loop {
+            if i <= 1 {
+                return;
+            }
+            i -= 1;
+            let digit = parents[i].unwrap_or(0) + 1;
+            if digit < i {
+                parents[i] = Some(digit);
+                break;
+            }
+            parents[i] = Some(0);
+        }
+    }
+}
+
+#[test]
+fn exhaustive_small_trees_conform_and_round_trip() {
+    let mut arena = TreeArena::new();
+    let mut shapes = 0usize;
+    for n in 1..=8usize {
+        for_each_parent_array(n, |parents| {
+            shapes += 1;
+            let tree = MergeTree::from_parents(parents).expect("parent < child by construction");
+            // Lowering into a reused arena must fully overwrite prior state.
+            arena.lower_into(&tree).expect("small trees fit u32 labels");
+            assert_conforms(&tree, &arena);
+            // raise() inverts lower().
+            assert_eq!(arena.raise().expect("arena holds a valid tree"), tree);
+            // Growing an arena arrival-by-arrival matches lowering the
+            // batch-built tree: push_arrival is lower ∘ push_arrival.
+            let mut grown = TreeArena::new();
+            grown.reset_singleton();
+            for p in parents.iter().skip(1) {
+                grown
+                    .push_arrival(p.expect("non-root nodes have parents"))
+                    .expect("small trees fit u32 labels");
+            }
+            assert_eq!(grown, arena, "incremental growth diverged at {parents:?}");
+        });
+    }
+    assert_eq!(shapes, 1 + 1 + 2 + 6 + 24 + 120 + 720 + 5040);
+}
+
+#[test]
+fn u32_overflow_is_a_typed_error() {
+    assert_eq!(TreeArena::check_capacity(TreeArena::MAX_NODES), Ok(()));
+    let err = TreeArena::check_capacity(TreeArena::MAX_NODES + 1)
+        .expect_err("one past MAX_NODES must be rejected");
+    assert_eq!(
+        err,
+        ModelError::NodeLimitExceeded {
+            nodes: TreeArena::MAX_NODES + 1
+        }
+    );
+    assert!(!err.to_string().is_empty(), "typed error must display");
+}
+
+#[test]
+fn push_arrival_rejects_forward_parents_without_growing() {
+    let mut arena = TreeArena::new();
+    arena.reset_singleton();
+    assert_eq!(
+        arena.push_arrival(5),
+        Err(ModelError::ParentNotEarlier { node: 1, parent: 5 })
+    );
+    assert_eq!(arena.len(), 1, "a rejected push must not grow the arena");
+}
+
+/// Strategy: a random merge tree (every node picks an earlier parent).
+fn arb_tree(max_n: usize) -> impl Strategy<Value = MergeTree> {
+    (1..=max_n).prop_flat_map(|n| {
+        let parents: Vec<BoxedStrategy<usize>> = (1..n).map(|i| (0..i).boxed()).collect();
+        parents.prop_map(move |ps| {
+            let mut v: Vec<Option<usize>> = vec![None];
+            v.extend(ps.into_iter().map(Some));
+            MergeTree::from_parents(&v).expect("parent < child by construction")
+        })
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    #[test]
+    fn lower_conforms_on_larger_trees(tree in arb_tree(200)) {
+        let arena = TreeArena::lower(&tree).expect("trees this small fit u32 labels");
+        assert_conforms(&tree, &arena);
+        prop_assert_eq!(arena.raise().expect("arena holds a valid tree"), tree);
+    }
+
+    #[test]
+    fn lower_into_reuse_is_stateless(a in arb_tree(60), b in arb_tree(60)) {
+        // Lowering b over a's columns must equal lowering b fresh.
+        let mut reused = TreeArena::lower(&a).expect("fits u32");
+        reused.lower_into(&b).expect("fits u32");
+        prop_assert_eq!(reused, TreeArena::lower(&b).expect("fits u32"));
+    }
+}

@@ -10,7 +10,9 @@
 //! * **one open tree** — arrivals attach to the most recently opened tree
 //!   (the model's invariant: merging across closed trees is impossible
 //!   because their streams have already begun). The open tree is a
-//!   [`MergeTree`] grown in place by `push_arrival` plus a vector of
+//!   [`TreeArena`] (flat `u32` columns, recycled through a storage pool so
+//!   steady-state pushes are allocation-free) grown in place by
+//!   `push_arrival` plus a vector of
 //!   *tentative* Lemma-1 stream specs: attaching `y` under `p` makes `y`
 //!   the last descendant of its entire root path, so exactly the nodes on
 //!   that path update, to `ℓ(x) = (t_y − t_x) + (t_y − t_{p(x)})` —
@@ -43,12 +45,12 @@
 use std::cmp::Reverse;
 use std::collections::{BinaryHeap, VecDeque};
 
-use super::events::{eval_client, EvalScratch, StreamingSummary};
+use super::events::{eval_client, EngineScratch, StreamingSummary};
 use super::{ClientReport, SimConfig};
 use crate::error::SimError;
 use crate::metrics::ProfileBuilder;
 use crate::schedule::{checked_media_len, StreamSpec};
-use sm_core::{MergeForest, MergeTree, ModelError};
+use sm_core::{MergeForest, ModelError, TreeArena};
 
 /// Where one ingested arrival goes, structurally.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -120,12 +122,22 @@ pub struct IncrementalSummary {
     pub max_open_trees: usize,
 }
 
+/// Recyclable per-tree storage: the arena columns plus the times and spec
+/// buffers. Fully-served trees return their storage here so later opens
+/// reuse the capacity instead of allocating.
+#[derive(Debug, Default)]
+struct TreeStorage {
+    arena: TreeArena,
+    times: Vec<i64>,
+    specs: Vec<StreamSpec>,
+}
+
 /// The tree currently accepting arrivals.
 #[derive(Debug)]
 struct OpenTree {
     /// Global index of the root.
     base: usize,
-    tree: MergeTree,
+    arena: TreeArena,
     times: Vec<i64>,
     /// Tentative Lemma-1 specs: exact for the tree as grown so far; only
     /// root-path entries of future arrivals can still grow.
@@ -133,23 +145,33 @@ struct OpenTree {
 }
 
 impl OpenTree {
-    fn new(base: usize, time: i64, media: i64) -> Self {
+    fn new(base: usize, time: i64, media: i64, storage: TreeStorage) -> Self {
+        let TreeStorage {
+            mut arena,
+            mut times,
+            mut specs,
+        } = storage;
+        arena.reset_singleton();
+        times.clear();
+        times.push(time);
+        specs.clear();
+        specs.push(StreamSpec {
+            node: base,
+            start: time,
+            length: media,
+        });
         Self {
             base,
-            tree: MergeTree::singleton(),
-            times: vec![time],
-            specs: vec![StreamSpec {
-                node: base,
-                start: time,
-                length: media,
-            }],
+            arena,
+            times,
+            specs,
         }
     }
 
     /// Attaches an arrival at `time` under local node `parent`, updating
     /// the tentative lengths of exactly the new node's root path.
     fn attach(&mut self, time: i64, parent: usize) -> Result<(), ModelError> {
-        let x = self.tree.push_arrival(parent)?;
+        let x = self.arena.push_arrival(parent)?;
         self.times.push(time);
         // The new node is its own last descendant: ℓ = t_y − t_p.
         self.specs.push(StreamSpec {
@@ -161,7 +183,7 @@ impl OpenTree {
         // non-root ancestor a becomes ℓ(a) = (t_y − t_a) + (t_y − t_{p(a)}).
         // The root keeps the full media length.
         let mut cur = parent;
-        while let Some(p) = self.tree.parent(cur) {
+        while let Some(p) = self.arena.parent(cur) {
             self.specs[cur].length = (time - self.times[cur]) + (time - self.times[p]);
             cur = p;
         }
@@ -174,7 +196,7 @@ impl OpenTree {
 #[derive(Debug)]
 struct ClosedTree {
     base: usize,
-    tree: MergeTree,
+    arena: TreeArena,
     times: Vec<i64>,
     specs: Vec<StreamSpec>,
     remaining: usize,
@@ -199,6 +221,9 @@ pub struct IncrementalEngine {
     ci: usize,
     open: Option<OpenTree>,
     closed: VecDeque<ClosedTree>,
+    /// Reclaimed storage of fully-served trees; opening a new tree pops
+    /// from here, so steady-state ingest allocates nothing.
+    pool: Vec<TreeStorage>,
     /// Bandwidth change events `(slot, ±1)` of *closed* trees, drained
     /// strictly below the latest closing root's arrival time.
     events: BinaryHeap<Reverse<(i64, i32)>>,
@@ -206,7 +231,7 @@ pub struct IncrementalEngine {
     profile: ProfileBuilder,
     total_units: i64,
     max_open_trees: usize,
-    scratch: EvalScratch,
+    scratch: EngineScratch,
 }
 
 impl IncrementalEngine {
@@ -224,12 +249,13 @@ impl IncrementalEngine {
             ci: 0,
             open: None,
             closed: VecDeque::new(),
+            pool: Vec::new(),
             events: BinaryHeap::new(),
             active: 0,
             profile: ProfileBuilder::new(),
             total_units: 0,
             max_open_trees: 0,
-            scratch: EvalScratch::default(),
+            scratch: EngineScratch::default(),
         })
     }
 
@@ -272,7 +298,8 @@ impl IncrementalEngine {
         match attach {
             Attach::Root => {
                 self.close_open(Some(time));
-                self.open = Some(OpenTree::new(self.n, time, self.media));
+                let storage = self.pool.pop().unwrap_or_default();
+                self.open = Some(OpenTree::new(self.n, time, self.media, storage));
             }
             Attach::Under(parent) => {
                 let node = self.n;
@@ -331,7 +358,7 @@ impl IncrementalEngine {
                     return Ok(());
                 }
                 let report = eval_client(
-                    &front.tree,
+                    &front.arena,
                     &front.times,
                     &front.specs,
                     self.media_len,
@@ -344,7 +371,13 @@ impl IncrementalEngine {
                 self.ci += 1;
                 front.remaining -= 1;
                 if front.remaining == 0 {
-                    self.closed.pop_front();
+                    if let Some(done) = self.closed.pop_front() {
+                        self.pool.push(TreeStorage {
+                            arena: done.arena,
+                            times: done.times,
+                            specs: done.specs,
+                        });
+                    }
                 }
             } else if let Some(open) = self.open.as_ref() {
                 debug_assert!(self.ci >= open.base);
@@ -355,7 +388,7 @@ impl IncrementalEngine {
                 // Tentative specs are safe here: every spec a client reads
                 // can only grow past demands that are fixed at its arrival.
                 let report = eval_client(
-                    &open.tree,
+                    &open.arena,
                     &open.times,
                     &open.specs,
                     self.media_len,
@@ -394,10 +427,16 @@ impl IncrementalEngine {
             if remaining > 0 {
                 self.closed.push_back(ClosedTree {
                     base: open.base,
-                    tree: open.tree,
+                    arena: open.arena,
                     times: open.times,
                     specs: open.specs,
                     remaining,
+                });
+            } else {
+                self.pool.push(TreeStorage {
+                    arena: open.arena,
+                    times: open.times,
+                    specs: open.specs,
                 });
             }
         }
@@ -463,7 +502,7 @@ pub fn simulate_incremental<F: FnMut(ClientReport)>(
 mod tests {
     use super::super::events::simulate_streaming_slice;
     use super::*;
-    use sm_core::consecutive_slots;
+    use sm_core::{consecutive_slots, MergeTree};
 
     fn fig4_forest() -> MergeForest {
         MergeForest::single(

@@ -1,7 +1,7 @@
 //! Concrete broadcast schedules: the Fig.-3 view of a merge forest.
 
 use crate::error::SimError;
-use sm_core::{cost, MergeForest};
+use sm_core::{MergeForest, TreeArena};
 
 /// One scheduled stream: starts at slot `start`, broadcasts parts
 /// `1..=length` in consecutive slots (part `q` during `[start+q−1, start+q)`).
@@ -127,16 +127,46 @@ impl<'a> ScheduleStream<'a> {
         let tree = self.forest.trees().get(self.next_tree)?;
         let base = self.base;
         let local_times = &self.times[base..base + tree.len()];
-        let lens = cost::lengths(tree, local_times);
         specs.clear();
-        specs.extend((0..tree.len()).map(|x| StreamSpec {
-            node: base + x,
-            start: local_times[x],
-            length: if x == 0 { self.media } else { lens[x] },
-        }));
+        specs.reserve(tree.len());
+        specs.push(StreamSpec {
+            node: base,
+            start: local_times[0],
+            length: self.media,
+        });
+        for x in 1..tree.len() {
+            // ℓ(x) = (z − x) + (z − p), inlined from `cost::lengths` so no
+            // per-tree length vector is allocated on the hot path.
+            let p = tree.parent(x).unwrap_or(0);
+            let z = tree.last_descendant(x);
+            specs.push(StreamSpec {
+                node: base + x,
+                start: local_times[x],
+                length: (local_times[z] - local_times[x]) + (local_times[z] - local_times[p]),
+            });
+        }
         self.next_tree += 1;
         self.base += tree.len();
         Some(base)
+    }
+
+    /// Arena form of [`next_into`](Self::next_into): additionally lowers the
+    /// pulled tree into `arena` (storage reused). The event engine pulls
+    /// through this so a retained tree is five flat columns plus one spec
+    /// buffer, all recycled from tree to tree.
+    pub fn next_into_arena(
+        &mut self,
+        arena: &mut TreeArena,
+        specs: &mut Vec<StreamSpec>,
+    ) -> Result<Option<usize>, SimError> {
+        let tree_index = self.next_tree;
+        let Some(base) = self.next_into(specs) else {
+            return Ok(None);
+        };
+        arena
+            .lower_into(&self.forest.trees()[tree_index])
+            .map_err(SimError::Model)?;
+        Ok(Some(base))
     }
 }
 

@@ -314,6 +314,53 @@ proptest! {
         prop_assert!(times.windows(2).all(|w| w[0] <= w[1]), "generator premise");
         assert_engines_agree(&forest, &times, media_len, None);
     }
+
+    #[test]
+    fn adversarial_mixed_forests_pin_all_three_engines(
+        seeds in proptest::collection::vec(0u64..1_000_000_000, 1..36),
+        media_len in 0u64..12,
+    ) {
+        // One forest deliberately mixing the degenerate shapes: media_len
+        // can be 0 (every part-deadline fires at the arrival slot itself,
+        // and the only feasible merge chain is the trivial one),
+        // single-arrival trees, maximum-depth chains (L/2 + 1, the longest
+        // feasible chain), overlong chains that *exceed* that depth, and
+        // zero-gap arrival ties within and across tree boundaries. Many
+        // cases are infeasible by construction — the dense, event, and
+        // incremental engines must agree bit for bit on the Ok runs and
+        // pin the exact same first error everywhere else.
+        let max_chain = (media_len / 2 + 1) as usize;
+        let mut trees = Vec::new();
+        let mut times = Vec::with_capacity(seeds.len());
+        let mut t = 0i64;
+        let mut i = 0usize;
+        while i < seeds.len() {
+            let s = seeds[i];
+            let remaining = seeds.len() - i;
+            let k = match s % 3 {
+                0 => 1,                        // single-arrival tree
+                1 => max_chain.min(remaining), // deepest feasible chain
+                // Short chains that may exceed the feasible depth when
+                // media_len is tiny: the infeasibility generator.
+                _ => (1 + (s / 3) as usize % 4).min(remaining),
+            };
+            trees.push(MergeTree::chain(k));
+            for j in 0..k {
+                if i + j > 0 {
+                    t += match (s / 12 + j as u64) % 4 {
+                        0 | 1 => 0, // pile up ties
+                        2 => 1,
+                        _ => 2,
+                    };
+                }
+                times.push(t);
+            }
+            i += k;
+        }
+        let forest = MergeForest::from_trees(trees).unwrap();
+        prop_assert!(times.windows(2).all(|w| w[0] <= w[1]), "generator premise");
+        assert_engines_agree(&forest, &times, media_len, None);
+    }
 }
 
 #[test]

@@ -1,0 +1,179 @@
+#![allow(unsafe_code)] // counting #[global_allocator]: raw-pointer plumbing by design
+//! Allocation-budget harness for the arena-backed engines.
+//!
+//! A counting `#[global_allocator]` (the same wrapper `sm-bench`'s
+//! `scale.rs` installs) feeds `sm_core::alloc_counter`'s per-thread
+//! counters, and the tests here pin the engines' allocation discipline:
+//!
+//! * **events** — one cold streaming run allocates only the engine's
+//!   reusable storage (the `EngineScratch` program/sweep buffers, the
+//!   pooled tree arenas and spec vectors, and the bandwidth profile's
+//!   change-point log), each growing by amortized doubling. The total is
+//!   `O(log n)`, so it fits a fixed [`EVENTS_SETUP_BUDGET`] and — the
+//!   sharper claim — barely moves when `n` quadruples.
+//! * **incremental** — after a warm-up prefix of pushes has grown every
+//!   pool and buffer, the remaining pushes are allocation-free up to the
+//!   log-many residual doublings of the bandwidth log
+//!   ([`INCREMENTAL_STEADY_BUDGET`]): `allocations / pushes` floors to 0.
+//!
+//! The counters are per-thread, so the harness is immune to the test
+//! runner's own threads; each test observes only its own allocations.
+
+use sm_core::{alloc_counter, consecutive_slots};
+use sm_online::DelayGuaranteedOnline;
+use sm_sim::{simulate_streaming_slice, Attach, IncrementalEngine, SimConfig};
+use sm_workload::deep_chain_forest;
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::hint::black_box;
+
+/// The system allocator wrapped with `sm_core::alloc_counter` bookkeeping.
+struct CountingAlloc;
+
+// SAFETY: every operation delegates verbatim to `System`; the counter
+// update is allocation-free and panic-free (see `sm_core::alloc_counter`).
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        alloc_counter::note_alloc(layout.size());
+        System.alloc(layout)
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout)
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        alloc_counter::note_alloc(new_size);
+        System.realloc(ptr, layout, new_size)
+    }
+}
+
+#[global_allocator]
+static ALLOC: CountingAlloc = CountingAlloc;
+
+const MEDIA: u64 = 100;
+
+/// Setup budget for one cold `simulate_streaming_slice` run: the schedule
+/// stream, scratch buffers, tree-storage pool, sweep heap, and bandwidth
+/// log together allocate a few dozen times (amortized doublings included).
+/// The budget leaves generous headroom; the scaling assertion below is the
+/// load-bearing one.
+const EVENTS_SETUP_BUDGET: u64 = 512;
+
+/// How much the cold-run allocation count may grow when `n` quadruples:
+/// only the bandwidth log and spec buffers keep doubling, so the
+/// difference is a handful of allocations, never `O(n)`.
+const EVENTS_GROWTH_SLACK: u64 = 64;
+
+/// Post-warm-up budget for the incremental engine: every pool and scratch
+/// buffer is already grown, leaving only the residual amortized doublings
+/// of the run-length bandwidth log — log-many, not per-push.
+const INCREMENTAL_STEADY_BUDGET: u64 = 64;
+
+/// One cold Delay Guaranteed streaming run; returns the allocations the
+/// run itself performed (workload construction excluded).
+fn events_run_allocations(n: usize) -> u64 {
+    let alg = DelayGuaranteedOnline::new(MEDIA);
+    let forest = alg.forest_after(n);
+    let times = consecutive_slots(n);
+    let ckpt = alloc_counter::checkpoint();
+    let mut served = 0usize;
+    simulate_streaming_slice(&forest, &times, MEDIA, SimConfig::events(), |report| {
+        served += 1;
+        black_box(report.max_buffer);
+    })
+    .expect("DG plan must execute");
+    let allocs = ckpt.allocations_since();
+    assert_eq!(served, n);
+    allocs
+}
+
+#[test]
+fn counting_allocator_is_live() {
+    let ckpt = alloc_counter::checkpoint();
+    let boxed = Box::new(black_box([0u8; 64]));
+    black_box(&boxed);
+    assert!(
+        ckpt.allocations_since() >= 1,
+        "the counting allocator must observe a fresh Box"
+    );
+}
+
+#[test]
+fn events_steady_state_is_allocation_free() {
+    let small = events_run_allocations(4_000);
+    let large = events_run_allocations(16_000);
+    assert!(
+        small <= EVENTS_SETUP_BUDGET,
+        "cold events run allocated {small} times, budget is {EVENTS_SETUP_BUDGET}"
+    );
+    // The per-arrival discipline: quadrupling the workload must not scale
+    // the allocation count — only log-many further doublings are allowed.
+    assert!(
+        large <= small + EVENTS_GROWTH_SLACK,
+        "allocations scaled with n: {small} at n=4000 vs {large} at n=16000"
+    );
+    assert_eq!(
+        large / 16_000,
+        0,
+        "allocations per arrival must floor to zero"
+    );
+}
+
+#[test]
+fn incremental_push_steady_state_is_allocation_free() {
+    const TOTAL: usize = 20_000;
+    const WARMUP: usize = 2_000;
+    // Deep chains recycle tree storage constantly: every tree the cursor
+    // drains returns its arena to the pool for the next chain to reuse.
+    let (forest, times) = deep_chain_forest(TOTAL, MEDIA);
+    let mut attaches = Vec::with_capacity(times.len());
+    let mut base = 0usize;
+    for tree in forest.trees() {
+        let parents = tree.to_parents();
+        attaches.push(Attach::Root);
+        for parent in parents.iter().skip(1) {
+            let parent = parent.expect("non-root chain nodes have parents");
+            attaches.push(Attach::Under(base + parent));
+        }
+        base += parents.len();
+    }
+    assert_eq!(attaches.len(), times.len());
+
+    let mut engine = IncrementalEngine::new(MEDIA, SimConfig::events()).expect("valid media len");
+    let mut served = 0usize;
+    for i in 0..WARMUP {
+        engine
+            .push(times[i], attaches[i], |report| {
+                served += 1;
+                black_box(report.max_buffer);
+            })
+            .expect("deep chains are feasible by construction");
+    }
+    let ckpt = alloc_counter::checkpoint();
+    for i in WARMUP..times.len() {
+        engine
+            .push(times[i], attaches[i], |report| {
+                served += 1;
+                black_box(report.max_buffer);
+            })
+            .expect("deep chains are feasible by construction");
+    }
+    let steady = ckpt.allocations_since();
+    let inc = engine
+        .finish(|report| {
+            served += 1;
+            black_box(report.max_buffer);
+        })
+        .expect("finish drains every pending deadline");
+    assert_eq!(served, times.len());
+    assert_eq!(inc.summary.clients, times.len());
+    assert!(
+        steady <= INCREMENTAL_STEADY_BUDGET,
+        "steady-state pushes allocated {steady} times, budget is {INCREMENTAL_STEADY_BUDGET}"
+    );
+    assert_eq!(
+        steady / (TOTAL - WARMUP) as u64,
+        0,
+        "allocations per push must floor to zero after warm-up"
+    );
+}

@@ -198,6 +198,7 @@ fn bench_json_schema_is_documented_field_by_field() {
         "memo_hits",
         "ns_per_arrival",
         "max_open_trees",
+        "allocations_per_arrival",
     ] {
         assert!(
             bench_src.contains(&format!("\\\"{field}\\\"")),
@@ -357,6 +358,7 @@ fn assert_scale_snapshot_schema(json: &str, what: &str) {
             "memo_hits",
             "ns_per_arrival",
             "max_open_trees",
+            "allocations_per_arrival",
         ] {
             let v = json_number(line, key);
             assert!(
@@ -369,6 +371,38 @@ fn assert_scale_snapshot_schema(json: &str, what: &str) {
                 .iter()
                 .any(|e| line.contains(&format!("\"engine\": \"{e}\""))),
             "{what}: unknown engine tag in {line}"
+        );
+    }
+}
+
+#[test]
+fn committed_bench_trajectory_is_ten_million_arrivals_and_allocation_free() {
+    let json = read("BENCH_scale.json");
+    let cases = bench_case_lines(&json);
+    let by_name = |needle: &str| {
+        *cases
+            .iter()
+            .find(|l| l.contains(needle))
+            .unwrap_or_else(|| panic!("BENCH_scale.json must carry the {needle} datapoint"))
+    };
+    let dg = by_name("events_dg");
+    // The arena-engine acceptance bar: the full-size Delay Guaranteed grid
+    // is 10^7 arrivals and finishes within 1.5 s on the committed run.
+    assert!(
+        json_number(dg, "arrivals") >= 10_000_000.0,
+        "the committed events_dg run must be full-size (10^7 arrivals)"
+    );
+    assert!(
+        json_number(dg, "wall_ms") <= 1_500.0,
+        "the committed 10^7 events_dg run must stay within 1.5 s"
+    );
+    // Steady-state pushes are allocation-free on every engine spine that
+    // claims it: the O(log n) warm-up allocations floor to 0 per arrival.
+    for case in ["events_dg", "serve_incremental", "events_deep_chain"] {
+        assert_eq!(
+            json_number(by_name(case), "allocations_per_arrival"),
+            0.0,
+            "{case} must run allocation-free in steady state"
         );
     }
 }
