@@ -27,6 +27,14 @@
 //! `max_open_trees` retention gauge) is CI-gated to within 1.5× of the
 //! batch baseline.
 //!
+//! A `serve_multi` case drives the multi-title delay-planning serve loop
+//! (`sm_serve::serve_multi`): a three-title Poisson catalog behind a
+//! shared six-channel budget squeezed below unbounded demand. Its JSON
+//! line (engine tag `"multi"`) carries the catalog size, the
+//! zero-rejection gauge, and the planned start-up delay percentiles —
+//! `titles`, `rejected`, `delay_p50`, `delay_p99`, `delay_max` — and is
+//! CI-gated on `rejected` = 0 and the 0-allocation ingest floor.
+//!
 //! A further case drives the many-epoch dynamic server: the sequential
 //! reference spine plus the depth-K plan-ahead pipeline at K ∈ {1, 2, 4},
 //! with the K ≥ 2 runs sharing a cross-epoch `PlannerMemo` whose hit count
@@ -140,6 +148,12 @@ struct CaseResult {
     /// so this is 0 for them (CI-gated); the dynamic-server spines report
     /// their genuine per-epoch allocation traffic.
     allocations_per_arrival: u64,
+    /// Pre-formatted optional JSON fields appended to this case's line
+    /// (leading `, ` included). The multi-title serving case carries its
+    /// catalog size, the zero-rejection gauge, and the planned start-up
+    /// delay percentiles here: `"titles"`, `"rejected"`, `"delay_p50"`,
+    /// `"delay_p99"`, `"delay_max"`. Empty for every other case.
+    extra: String,
 }
 
 /// One dedicated timed streaming run (outside the criterion sampling),
@@ -173,6 +187,7 @@ fn timed_case(
             memo_hits: 0,
             max_open_trees: 0,
             allocations_per_arrival: allocs / times.len().max(1) as u64,
+            extra: String::new(),
         },
         summary,
     )
@@ -227,7 +242,7 @@ fn write_bench_json(results: &[CaseResult]) {
             "    {{\"name\": \"{}\", \"arrivals\": {}, \"engine\": \"{}\", \
              \"wall_ms\": {:.3}, \"peak_streams\": {}, \"total_units\": {}, \
              \"memo_hits\": {}, \"ns_per_arrival\": {:.1}, \
-             \"max_open_trees\": {}, \"allocations_per_arrival\": {}}}{}\n",
+             \"max_open_trees\": {}, \"allocations_per_arrival\": {}{}}}{}\n",
             r.name,
             r.arrivals,
             r.engine,
@@ -238,6 +253,7 @@ fn write_bench_json(results: &[CaseResult]) {
             r.wall_ms * 1e6 / r.arrivals.max(1) as f64,
             r.max_open_trees,
             r.allocations_per_arrival,
+            r.extra,
             if i + 1 < results.len() { "," } else { "" }
         ));
     }
@@ -323,6 +339,7 @@ fn bench_scale(c: &mut Criterion) {
         memo_hits: 0,
         max_open_trees: inc.max_open_trees,
         allocations_per_arrival: inc_allocs / n.max(1) as u64,
+        extra: String::new(),
     });
     g.bench_function(format!("serve_incremental_L{media_len}_n{n}"), |b| {
         b.iter(|| {
@@ -419,6 +436,98 @@ fn bench_scale(c: &mut Criterion) {
             black_box(summary.bandwidth.peak())
         })
     });
+    // Multi-title delay-planning serve loop: a three-title Poisson catalog
+    // behind a shared six-channel budget squeezed below unbounded demand
+    // (the per-title steady-state peaks sum to ~27), so the planner must
+    // genuinely re-plan — the recorded delay percentiles are nonzero — while
+    // the zero-rejection invariant holds at scale. The aggregate `arrivals`
+    // tracks the configured n (the horizon is sized for the catalog's
+    // summed arrival rate); `peak_streams`/`total_units` sum the per-title
+    // engines, `max_open_trees` sums their retention gauges. The case rides
+    // the `"multi"` engine tag and appends `titles`/`rejected`/`delay_*`
+    // extras to its JSON line; CI gates rejected == 0 and the 0-alloc floor
+    // on the driving (ingest) thread, and `tests/docs_sync.rs` gates the
+    // committed full-size datapoint's amortized ns/arrival against the
+    // events baseline.
+    let serve_catalog = || {
+        vec![
+            sm_serve::TitleConfig::new(64, 1.0),
+            sm_serve::TitleConfig::new(100, 2.0),
+            sm_serve::TitleConfig::new(144, 4.0),
+        ]
+    };
+    let serve_config = sm_serve::MultiServeConfig {
+        budget: Some(6),
+        // Means 1, 2, 4 sum to 1.75 arrivals per slot.
+        ..sm_serve::MultiServeConfig::new(serve_catalog(), (n as f64 / 1.75).max(100.0))
+    };
+    let ckpt = alloc_counter::checkpoint();
+    let t0 = Instant::now();
+    let mut served = 0usize;
+    let multi = sm_serve::serve_multi_with(&serve_config, &PlannerMemo::new(), |_, report| {
+        served += 1;
+        black_box(report.max_buffer);
+    })
+    .expect("a bounded budget is always feasible under delay planning");
+    let multi_ms = t0.elapsed().as_secs_f64() * 1e3;
+    let multi_allocs = ckpt.allocations_since();
+    assert_eq!(served, multi.served, "every served client reports once");
+    assert_eq!(multi.rejected, 0, "delay planning never declines");
+    assert_eq!(multi.served, multi.generated);
+    assert!(
+        multi.delay.max_slots > 0,
+        "the squeezed budget must surface as nonzero start-up delay"
+    );
+    println!(
+        "bench: scale/serve_multi {} titles, budget 6: {} arrivals, delay \
+         p50/p99/max = {}/{}/{} slots, {:.1} ns/arrival",
+        multi.titles.len(),
+        multi.generated,
+        multi.delay.p50_slots,
+        multi.delay.p99_slots,
+        multi.delay.max_slots,
+        multi_ms * 1e6 / multi.generated.max(1) as f64
+    );
+    results.push(CaseResult {
+        name: format!("serve_multi_T{}", multi.titles.len()),
+        engine: "multi",
+        arrivals: multi.generated,
+        wall_ms: multi_ms,
+        peak_streams: multi
+            .titles
+            .iter()
+            .map(|t| t.summary.summary.bandwidth.peak())
+            .sum(),
+        total_units: multi
+            .titles
+            .iter()
+            .map(|t| t.summary.summary.total_units)
+            .sum(),
+        memo_hits: multi.memo_hits,
+        max_open_trees: multi.titles.iter().map(|t| t.summary.max_open_trees).sum(),
+        allocations_per_arrival: multi_allocs / multi.generated.max(1) as u64,
+        extra: format!(
+            ", \"titles\": {}, \"rejected\": {}, \"delay_p50\": {}, \
+             \"delay_p99\": {}, \"delay_max\": {}",
+            multi.titles.len(),
+            multi.rejected,
+            multi.delay.p50_slots,
+            multi.delay.p99_slots,
+            multi.delay.max_slots
+        ),
+    });
+    g.bench_function(
+        format!("serve_multi_T{}_n{n}", serve_config.titles.len()),
+        |b| {
+            b.iter(|| {
+                let report = sm_serve::serve_multi(black_box(&serve_config))
+                    .expect("a bounded budget is always feasible under delay planning");
+                assert_eq!(report.rejected, 0);
+                black_box(report.delay.max_slots)
+            })
+        },
+    );
+
     // Many-epoch dynamic server: the depth-K cross-epoch pipeline against
     // the sequential reference spine on the identical workload. Three
     // plan-ahead depths are measured — K = 1 memo-free (the PR-4
@@ -455,6 +564,7 @@ fn bench_scale(c: &mut Criterion) {
         // Per-epoch, not per-arrival: dynamic cases count epochs (the
         // planning spines allocate genuinely, on the driving thread).
         allocations_per_arrival: seq_allocs / epoch_count.max(1) as u64,
+        extra: String::new(),
     });
     for plan_ahead in [1usize, 2, 4] {
         let memo = (plan_ahead > 1).then(PlannerMemo::new);
@@ -493,6 +603,7 @@ fn bench_scale(c: &mut Criterion) {
             memo_hits,
             max_open_trees: 0,
             allocations_per_arrival: piped_allocs / epoch_count.max(1) as u64,
+            extra: String::new(),
         });
         g.bench_function(
             format!("server_dynamic_pipelined_E{epoch_count}_k{plan_ahead}"),

@@ -14,8 +14,9 @@
 //! smctl online <L> <horizon>  on-line DG cost vs the off-line optimum
 //! smctl broadcast <L> <D>     static broadcasting schemes for delay D
 //! smctl server <k> <budget>   per-title delays for a Zipf catalog
-//! smctl serve <L> <horizon> <mean> [licenses]
-//!                             live push-based serving run with admission
+//! smctl serve <horizon> <budget> <L>:<mean>[:<policy>] [...]
+//!                             live multi-title serving run: arrivals are
+//!                             re-planned at traffic time, never declined
 //! ```
 
 use std::fmt;
@@ -62,10 +63,11 @@ COMMANDS
   online <L> <horizon>   on-line Delay Guaranteed cost vs off-line optimum
   broadcast <L> <D>      static broadcasting schemes at delay D (D | L)
   server <k> <budget>    per-title delay plan for a k-title Zipf catalog
-  serve <L> <horizon> <mean> [licenses]
-                         live serving run: Poisson arrivals with mean gap
-                         <mean> ingested arrival-at-a-time, optionally
-                         admission-capped at <licenses> live full streams
+  serve <horizon> <budget|unlimited> <L>:<mean>[:dg|dyadic] [...]
+                         live multi-title serving run: one Poisson title
+                         per <L>:<mean> spec, every arrival re-planned at
+                         traffic time under the shared channel budget —
+                         overload becomes start-up delay, never a decline
   policies <L> <lambda>  on-line policy costs at inter-arrival gap lambda
                          (as % of the media length, constant-rate arrivals)
   client <scheme> <L> <D> <t>
@@ -149,14 +151,17 @@ pub fn run(args: &[String]) -> Result<String, CliError> {
             Ok(render::server(k as usize, b))
         }
         Some("serve") => {
-            let l = positive(parse(required(&mut it, "L")?, "a positive integer")?, "L")?;
             let horizon: f64 = parse(required(&mut it, "horizon")?, "a positive number")?;
-            let mean: f64 = parse(required(&mut it, "mean")?, "a positive number")?;
-            let cap = it
-                .next()
-                .map(|s| parse::<usize>(s, "a non-negative integer"))
-                .transpose()?;
-            render::serve(l, horizon, mean, cap)
+            let budget = parse_budget(required(&mut it, "budget")?)?;
+            let titles: Vec<sm_serve::TitleConfig> =
+                it.map(parse_title_spec).collect::<Result<_, CliError>>()?;
+            if titles.is_empty() {
+                return Err(CliError::BadArgument {
+                    arg: "<L>:<mean>".to_string(),
+                    reason: "the catalog needs at least one title spec".to_string(),
+                });
+            }
+            render::serve(horizon, budget, titles)
         }
         Some("policies") => {
             let l = positive(parse(required(&mut it, "L")?, "a positive integer")?, "L")?;
@@ -181,6 +186,57 @@ pub fn run(args: &[String]) -> Result<String, CliError> {
             usage()
         ))),
     }
+}
+
+/// `serve`'s shared channel budget: `unlimited` lifts the cap, any other
+/// value must be a positive channel count.
+fn parse_budget(arg: &str) -> Result<Option<usize>, CliError> {
+    if arg == "unlimited" {
+        return Ok(None);
+    }
+    let n: usize = parse(arg, "a positive integer or `unlimited`")?;
+    positive(n as u64, arg)?;
+    Ok(Some(n))
+}
+
+/// One `serve` title spec, `<L>:<mean>[:<policy>]` — media length in
+/// slots, mean Poisson inter-arrival gap, and an optional policy name
+/// (`dg` or `dyadic`; dyadic is the default).
+fn parse_title_spec(spec: &str) -> Result<sm_serve::TitleConfig, CliError> {
+    let bad = |reason: String| CliError::BadArgument {
+        arg: spec.to_string(),
+        reason,
+    };
+    let mut parts = spec.split(':');
+    let l: u64 = parts
+        .next()
+        .filter(|s| !s.is_empty())
+        .ok_or_else(|| bad("expected <L>:<mean>[:<policy>]".to_string()))?
+        .parse()
+        .map_err(|_| bad("media length must be a positive integer".to_string()))?;
+    if l == 0 {
+        return Err(bad("media length must be positive".to_string()));
+    }
+    let mean: f64 = parts
+        .next()
+        .ok_or_else(|| bad("missing mean inter-arrival gap".to_string()))?
+        .parse()
+        .map_err(|_| bad("mean gap must be a positive number".to_string()))?;
+    if !(mean > 0.0 && mean.is_finite()) {
+        return Err(bad("mean gap must be finite and positive".to_string()));
+    }
+    let policy = match parts.next() {
+        None | Some("dyadic") => sm_serve::PolicyKind::Dyadic,
+        Some("dg") => sm_serve::PolicyKind::DelayGuaranteed,
+        Some(other) => return Err(bad(format!("unknown policy `{other}` (use dg|dyadic)"))),
+    };
+    if parts.next().is_some() {
+        return Err(bad("too many `:` fields".to_string()));
+    }
+    Ok(sm_serve::TitleConfig {
+        policy,
+        ..sm_serve::TitleConfig::new(l, mean)
+    })
 }
 
 fn required<'a>(it: &mut impl Iterator<Item = &'a str>, what: &str) -> Result<&'a str, CliError> {
@@ -332,23 +388,34 @@ mod tests {
     }
 
     #[test]
-    fn serve_reports_admission_and_latency() {
-        let out = run_args(&["serve", "32", "300", "2"]).unwrap();
-        assert!(out.contains("admitted"), "{out}");
-        assert!(out.contains("0 declined"), "{out}");
+    fn serve_reports_delays_and_latency() {
+        let out = run_args(&["serve", "300", "unlimited", "32:2"]).unwrap();
+        assert!(out.contains("0 rejected"), "{out}");
+        assert!(out.contains("start-up delay"), "{out}");
         assert!(out.contains("push latency"), "{out}");
 
-        let capped = run_args(&["serve", "32", "300", "1", "1"]).unwrap();
-        assert!(capped.contains("channel licenses: 1"), "{capped}");
+        let contended = run_args(&["serve", "120", "1", "40:0.5", "40:0.5:dg"]).unwrap();
+        assert!(contended.contains("shared budget: 1"), "{contended}");
+        assert!(contended.contains("0 rejected"), "{contended}");
+        assert!(contended.contains("delay-guaranteed"), "{contended}");
+        assert!(contended.contains("dyadic"), "{contended}");
 
-        assert!(matches!(
-            run_args(&["serve", "32", "0", "2"]),
-            Err(CliError::BadArgument { .. })
-        ));
-        assert!(matches!(
-            run_args(&["serve", "32", "300"]),
-            Err(CliError::BadArgument { .. })
-        ));
+        // A zero budget, a missing catalog, and malformed title specs are
+        // all argument errors, not panics.
+        for bad in [
+            vec!["serve", "300", "0", "32:2"],
+            vec!["serve", "300", "unlimited"],
+            vec!["serve", "300", "unlimited", "32"],
+            vec!["serve", "300", "unlimited", "0:2"],
+            vec!["serve", "300", "unlimited", "32:-1"],
+            vec!["serve", "300", "unlimited", "32:2:bogus"],
+            vec!["serve", "300", "unlimited", "32:2:dg:extra"],
+        ] {
+            assert!(
+                matches!(run_args(&bad), Err(CliError::BadArgument { .. })),
+                "{bad:?} should be rejected"
+            );
+        }
     }
 
     #[test]

@@ -220,48 +220,72 @@ pub fn server(titles: usize, budget: u64) -> String {
     }
 }
 
-/// `smctl serve <L> <horizon> <mean> [licenses]` — a live serving run.
+/// `smctl serve <horizon> <budget|unlimited> <L>:<mean>[:<policy>] [...]`
+/// — a live multi-title serving run under one shared channel budget.
 pub fn serve(
-    media_len: u64,
     horizon: f64,
-    mean_interarrival: f64,
-    max_active: Option<usize>,
+    budget: Option<usize>,
+    titles: Vec<sm_serve::TitleConfig>,
 ) -> Result<String, CliError> {
-    let config = sm_serve::ServeConfig {
-        max_active,
-        ..sm_serve::ServeConfig::new(media_len, horizon, mean_interarrival)
+    let config = sm_serve::MultiServeConfig {
+        budget,
+        ..sm_serve::MultiServeConfig::new(titles, horizon)
     };
-    let report = sm_serve::serve(&config).map_err(|e| CliError::BadArgument {
-        arg: format!("{media_len} {horizon} {mean_interarrival}"),
+    let report = sm_serve::serve_multi(&config).map_err(|e| CliError::BadArgument {
+        arg: format!("serve {horizon}"),
         reason: e.to_string(),
     })?;
     let mut out = format!(
-        "live serve: L = {media_len} slots, horizon = {horizon}, Poisson mean gap = {mean_interarrival}\n"
+        "live serve: {} title(s), horizon = {horizon} slots, {}\n",
+        report.titles.len(),
+        match budget {
+            Some(b) => format!("shared budget: {b} channel(s)"),
+            None => "unbounded budget".to_string(),
+        }
     );
-    if let Some(cap) = max_active {
-        let _ = writeln!(out, "  channel licenses: {cap}");
-    }
-    let s = &report.summary.summary;
     let _ = writeln!(
         out,
-        "  arrivals: {} generated, {} admitted, {} declined",
-        report.generated, report.admitted, report.rejected
+        "  arrivals: {} generated, {} served, {} rejected",
+        report.generated, report.served, report.rejected
     );
-    if s.bandwidth.is_empty() {
-        let _ = writeln!(out, "  transmitted: nothing (no admitted traffic)");
-    } else {
-        let _ = writeln!(
-            out,
-            "  transmitted: {} slot-units, peak bandwidth {} streams, average {:.3}",
-            s.total_units,
-            s.bandwidth.peak(),
-            s.bandwidth.average()
-        );
-    }
+    let d = &report.delay;
     let _ = writeln!(
         out,
-        "  retention: at most {} merge trees live at once",
-        report.summary.max_open_trees
+        "  start-up delay: p50 {} / p99 {} / max {} slots, mean {:.2}",
+        d.p50_slots, d.p99_slots, d.max_slots, d.mean_slots
+    );
+    let rows: Vec<Vec<String>> = config
+        .titles
+        .iter()
+        .zip(&report.titles)
+        .enumerate()
+        .map(|(i, (tc, tr))| {
+            vec![
+                format!("title-{i:02}"),
+                tr.media_len.to_string(),
+                match tc.policy {
+                    sm_serve::PolicyKind::DelayGuaranteed => "delay-guaranteed".to_string(),
+                    sm_serve::PolicyKind::Dyadic => "dyadic".to_string(),
+                },
+                tr.generated.to_string(),
+                tr.groups.to_string(),
+                tr.planned_peak.to_string(),
+                tr.delay.p99_slots.to_string(),
+                tr.delay.max_slots.to_string(),
+            ]
+        })
+        .collect();
+    out.push_str(&crate::table(
+        &[
+            "title", "L", "policy", "arrivals", "groups", "peak", "p99", "max",
+        ],
+        &rows,
+    ));
+    out.push('\n');
+    let _ = writeln!(
+        out,
+        "  planner memo: {} per-length analyses served from cache",
+        report.memo_hits
     );
     let l = report.latency;
     let _ = write!(

@@ -1,0 +1,102 @@
+//! Pipeline fan-in: stable k-way merge of per-source batches.
+//!
+//! The serving layer generates one sorted arrival run *per title* for each
+//! pipeline batch and needs them interleaved into a single globally sorted
+//! run before ingest. [`merge_runs`] does exactly that: a stable k-way
+//! merge over individually sorted runs, where ties keep the earlier run's
+//! element first — so "title 0 before title 1 at equal times" is a
+//! deterministic, documented property rather than an accident of the sort.
+//!
+//! `k` is the number of sources feeding the pipeline (a handful of titles),
+//! so the merge scans the `k` run heads per emitted element: `O(n·k)` with
+//! no heap bookkeeping and a single output allocation.
+
+/// Stable k-way merge of individually sorted runs into one sorted vector.
+///
+/// `before(a, b)` is the strict ordering predicate ("a sorts ahead of b").
+/// Within one run the caller guarantees elements are already in order;
+/// across runs, ties (`!before(a, b) && !before(b, a)`) resolve to the
+/// run with the smaller index, making the merge stable.
+///
+/// ```
+/// use sm_core::merge_runs;
+///
+/// let runs = vec![vec![(1.0, 'a'), (4.0, 'a')], vec![(1.0, 'b'), (2.0, 'b')]];
+/// let merged = merge_runs(runs, |x, y| x.0 < y.0);
+/// assert_eq!(merged, vec![(1.0, 'a'), (1.0, 'b'), (2.0, 'b'), (4.0, 'a')]);
+/// ```
+pub fn merge_runs<T, F>(mut runs: Vec<Vec<T>>, mut before: F) -> Vec<T>
+where
+    F: FnMut(&T, &T) -> bool,
+{
+    let total: usize = runs.iter().map(Vec::len).sum();
+    let mut out = Vec::with_capacity(total);
+    // Each run is reversed once so its head is the cheap-to-pop tail.
+    for run in &mut runs {
+        run.reverse();
+    }
+    while out.len() < total {
+        let mut best: Option<usize> = None;
+        for i in 0..runs.len() {
+            let Some(head) = runs[i].last() else { continue };
+            best = Some(match best {
+                None => i,
+                // Strict `before` keeps the earlier run on ties: stability.
+                Some(b) => match runs[b].last() {
+                    Some(held) if before(head, held) => i,
+                    _ => b,
+                },
+            });
+        }
+        match best.and_then(|b| runs[b].pop()) {
+            Some(x) => out.push(x),
+            None => break,
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::merge_runs;
+
+    #[test]
+    fn merges_disjoint_runs_in_order() {
+        let merged = merge_runs(vec![vec![1, 4, 9], vec![2, 3, 10], vec![0, 7]], |a, b| {
+            a < b
+        });
+        assert_eq!(merged, vec![0, 1, 2, 3, 4, 7, 9, 10]);
+    }
+
+    #[test]
+    fn ties_keep_the_earlier_run_first() {
+        let merged = merge_runs(
+            vec![
+                vec![(1, 'a'), (2, 'a')],
+                vec![(1, 'b')],
+                vec![(1, 'c'), (3, 'c')],
+            ],
+            |a, b| a.0 < b.0,
+        );
+        assert_eq!(
+            merged,
+            vec![(1, 'a'), (1, 'b'), (1, 'c'), (2, 'a'), (3, 'c')]
+        );
+    }
+
+    #[test]
+    fn handles_empty_inputs() {
+        assert_eq!(merge_runs(Vec::<Vec<u8>>::new(), |a, b| a < b), vec![]);
+        assert_eq!(
+            merge_runs(vec![vec![], vec![5u8], vec![]], |a, b| a < b),
+            vec![5]
+        );
+    }
+
+    #[test]
+    fn preserves_within_run_order_of_equal_elements() {
+        // One run with internal ties: pop order must equal input order.
+        let merged = merge_runs(vec![vec![(2, 0), (2, 1), (2, 2)]], |a, b| a.0 < b.0);
+        assert_eq!(merged, vec![(2, 0), (2, 1), (2, 2)]);
+    }
+}

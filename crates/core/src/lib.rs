@@ -37,6 +37,7 @@ pub mod buffer;
 pub mod cost;
 pub mod diagram;
 pub mod error;
+pub mod fanin;
 pub mod forest;
 pub mod parallel;
 pub mod receive_all_program;
@@ -49,6 +50,7 @@ pub use arena::TreeArena;
 pub use buffer::{buffer_profile, required_buffer};
 pub use cost::{full_cost, lengths, merge_cost, receive_all_lengths, receive_all_merge_cost};
 pub use error::ModelError;
+pub use fanin::merge_runs;
 pub use forest::MergeForest;
 pub use parallel::{parallel_map, pipeline};
 pub use receive_all_program::ReceiveAllProgram;

@@ -46,6 +46,32 @@ impl MergeDecision {
 /// Implementations must emit decisions whose `node` fields count up from 0
 /// and whose parents always lie in the currently open tree — the contract
 /// [`ForestBuilder::apply`] enforces.
+///
+/// One push per arrival, one [`MergeDecision`] back — here the dyadic
+/// merger watching a root stream absorb a close follower and decline a
+/// distant one:
+///
+/// ```
+/// use sm_online::{DyadicConfig, DyadicMerger, IncrementalPolicy, MergeDecision};
+///
+/// let mut policy: Box<dyn IncrementalPolicy> =
+///     Box::new(DyadicMerger::new(DyadicConfig::classic(), 10.0));
+///
+/// // First arrival: nothing to merge into, so it roots tree 0.
+/// let first = policy.push(0.0);
+/// assert_eq!(first, MergeDecision { node: 0, tree: 0, parent: None });
+/// assert!(first.is_root());
+///
+/// // A close follower merges under the root: its stream is truncated.
+/// let follower = policy.push(1.0);
+/// assert_eq!(follower.parent, Some(0));
+/// assert_eq!(follower.tree, 0);
+///
+/// // Too far behind to catch tree 0: a fresh full stream roots tree 1.
+/// let late = policy.push(6.0);
+/// assert_eq!(late, MergeDecision { node: 2, tree: 1, parent: None });
+/// assert_eq!(policy.arrivals(), 3);
+/// ```
 pub trait IncrementalPolicy {
     /// Processes the next arrival at time `time` and returns its merge
     /// decision. `O(1)` amortized per arrival for both built-in policies.

@@ -1,65 +1,132 @@
 #![forbid(unsafe_code)]
-//! Long-running serving facade: a push-based ingest loop over the
-//! incremental engine.
+//! The serving layer: a push-based, never-declining ingest loop over
+//! per-title incremental engines behind one shared channel budget.
 //!
 //! Where `sm-sim` answers "what does this forest cost?" for a workload
 //! that already happened, this crate runs the serving side as it would
-//! run in production: arrivals are *generated on a separate thread*,
-//! flow through the bounded [`sm_core::pipeline`] channel (so workload
+//! run in production: arrivals are *generated on a separate thread*, flow
+//! through the bounded [`sm_core::pipeline`] channel (so workload
 //! generation is backpressured by ingest, never the other way around),
-//! and hit the server one at a time. For each arrival, at traffic time,
-//! the loop
+//! and hit the server one at a time.
 //!
-//! 1. **admits or declines** it against the live channel gauge — the
-//!    number of full-length streams whose playback windows are still
-//!    open. With [`ServeConfig::max_active`] set, the server behaves
-//!    like the fixed-bandwidth server of the paper's §5: a client is
-//!    declined exactly when it cannot join the current slot's
-//!    already-admitted group and every channel license is busy;
-//! 2. asks the online **merge policy** (the dyadic merger with the
-//!    golden ratio α and β = ½, the paper's recommended configuration
-//!    for Poisson traffic) where the arrival merges;
-//! 3. **pushes** it into [`sm_sim::IncrementalEngine`], which maintains
-//!    open merge trees and the sparse bandwidth profile incrementally
-//!    and streams each [`ClientReport`] out the moment that client's
-//!    last part-deadline fires.
+//! # The serving-layer contract
 //!
-//! Per-push wall-clock latency is recorded for every admitted arrival;
-//! the final [`ServeReport`] carries p50/p90/p99/max percentiles next to
-//! the engine's own [`IncrementalSummary`].
+//! ```text
+//!  producer thread                        ingest (caller's thread)
+//!  ┌──────────────────────────┐           ┌───────────────────────────────┐
+//!  │ per-title Poisson batch  │  bounded  │ for each (time, title):       │
+//!  │ runs, k-way merged by    │  channel  │   1. join the title's pending │
+//!  │ sm_core::merge_runs      ├──────────▶│      group, or                │
+//!  │ (time, then title index) │           │   2. plan a service slot      │
+//!  └──────────────────────────┘           │      against the shared       │
+//!                                         │      budget (delay, never     │
+//!                                         │      decline),                │
+//!                                         │   3. consult the title's      │
+//!                                         │      IncrementalPolicy,       │
+//!                                         │   4. push into the title's    │
+//!                                         │      IncrementalEngine        │
+//!                                         └───────────────────────────────┘
+//! ```
+//!
+//! The paper's §5 server **never declines a request**: under a fixed
+//! channel budget it plans a *start-up delay* for each arrival instead.
+//! This crate implements exactly that regime — the earlier license-gating
+//! loop (admit or decline against a `max_active` gauge) is gone, and
+//! overload now shows up as added start-up delay against the guarantee,
+//! never as a rejection. Three invariants define the contract:
+//!
+//! 1. **Zero rejections.** Every generated arrival is served;
+//!    [`ServeReport::rejected`] and [`MultiServeReport::rejected`] are
+//!    structurally zero and kept in the reports as the observable form of
+//!    the invariant.
+//! 2. **Budget safety.** With [`ServeConfig::budget`] (or
+//!    [`MultiServeConfig::budget`]) set to `b`, at most `b` full-length
+//!    streams are live at any instant, across *all* titles. The planner
+//!    tracks one min-heap of **license chains** — disjoint timelines of
+//!    full streams scheduled back to back. A new full stream either
+//!    claims a free chain slot or extends the chain that frees earliest
+//!    (its start is delayed to that chain's end), so chains never
+//!    overlap internally and their count never exceeds `b`; live full
+//!    streams ≤ chains ≤ `b`. As under the prior gauge, truncated merge
+//!    streams ride the margin: the budget prices full-length streams,
+//!    the dominating cost.
+//! 3. **Delay before policy.** The service slot is planned *before* the
+//!    title's merge policy decides root-or-merge, so an arrival is
+//!    delayed exactly when the old loop would have declined it — the
+//!    decision boundary is unchanged, only the verdict differs. At an
+//!    unbounded budget every delay is zero and the loop is bit-identical
+//!    to the license-gating loop with the gauge disabled (pinned by
+//!    property test).
 //!
 //! Arrival times are continuous (Poisson) and are floored onto the
-//! integer slot grid the merge model works in; co-slot arrivals merge
-//! under the slot's first client as zero-length streams (they receive
-//! everything their parent receives), so the policy only ever sees
-//! strictly increasing distinct slots.
+//! integer slot grid the merge model works in. Arrivals no later than a
+//! title's pending service slot join that group as zero-length streams
+//! under its head — the paper's batching rule: everyone who shows up
+//! while a stream is still pending rides it. Delays are measured in
+//! slots, and one slot is the guaranteed start-up delay, so
+//! [`DelayStats`] reads directly as "multiples of the guarantee".
+//!
+//! # Single-title quickstart
 //!
 //! ```
 //! use sm_serve::{serve, ServeConfig};
 //!
 //! let report = serve(&ServeConfig::new(64, 400.0, 2.0)).unwrap();
-//! assert_eq!(report.generated, report.admitted + report.rejected);
-//! assert_eq!(report.summary.summary.clients, report.admitted);
+//! assert_eq!(report.rejected, 0);
+//! assert_eq!(report.served, report.generated);
+//! assert_eq!(report.delay.max_slots, 0, "unbounded budget: no delay");
+//! ```
+//!
+//! # Multi-title quickstart
+//!
+//! Two titles share a four-channel budget; title 1 swaps its merge policy
+//! mid-run through the [`sm_online::IncrementalPolicy`] seam:
+//!
+//! ```
+//! use sm_serve::{serve_multi, MultiServeConfig, PolicyKind, PolicySwap, TitleConfig};
+//!
+//! let config = MultiServeConfig {
+//!     budget: Some(4),
+//!     ..MultiServeConfig::new(
+//!         vec![
+//!             TitleConfig::new(64, 2.0),
+//!             TitleConfig {
+//!                 policy: PolicyKind::DelayGuaranteed,
+//!                 swap: Some(PolicySwap { after_groups: 40, to: PolicyKind::Dyadic }),
+//!                 ..TitleConfig::new(32, 3.0)
+//!             },
+//!         ],
+//!         600.0,
+//!     )
+//! };
+//! let report = serve_multi(&config).unwrap();
+//! assert_eq!(report.rejected, 0, "delay replaces rejection");
+//! assert_eq!(report.served, report.generated);
+//! assert_eq!(report.titles.len(), 2);
+//! for title in &report.titles {
+//!     assert_eq!(title.served, title.generated);
+//! }
 //! ```
 
-use std::cmp::Reverse;
-use std::collections::BinaryHeap;
 use std::fmt;
-use std::time::Instant;
 
-use sm_core::pipeline;
-use sm_online::{DyadicConfig, DyadicMerger, IncrementalPolicy};
-use sm_sim::{
-    Attach, ClientReport, IncrementalEngine, IncrementalSummary, IngestError, SimConfig, SimError,
+use sm_sim::{ClientReport, IncrementalSummary, IngestError, SimError};
+
+mod multi;
+
+pub use multi::{
+    serve_multi, serve_multi_with, MultiServeConfig, MultiServeReport, PolicyKind, PolicySwap,
+    TitleConfig, TitleReport,
 };
-use sm_workload::{ArrivalProcess, PoissonProcess};
 
 /// Largest accepted horizon: keeps `t.floor() as i64` exact (every f64
 /// below this is integer-representable in i64) and batch counts sane.
 const MAX_HORIZON: f64 = 1e15;
 
-/// Everything a serving run needs. All fields are public; start from
-/// [`ServeConfig::new`] and override what the scenario calls for.
+/// Everything a single-title serving run needs. All fields are public;
+/// start from [`ServeConfig::new`] and override what the scenario calls
+/// for. The run itself is the one-title specialization of the multi-title
+/// loop (see [`MultiServeConfig`]).
 #[derive(Debug, Clone, PartialEq)]
 pub struct ServeConfig {
     /// Media length in slots (`L`); must be at least 1.
@@ -70,9 +137,10 @@ pub struct ServeConfig {
     pub mean_interarrival: f64,
     /// Workload RNG seed; identical seeds replay identical traffic.
     pub seed: u64,
-    /// Channel-license cap: decline a new slot's arrivals while this many
-    /// full streams have open playback windows. `None` admits everything.
-    pub max_active: Option<usize>,
+    /// Shared channel budget: at most this many full-length streams live
+    /// at once. Arrivals past the budget are *delayed*, never declined.
+    /// `None` plans every stream at its arrival slot (zero delay).
+    pub budget: Option<usize>,
     /// Producer batch granularity in slots; each pipeline item carries the
     /// arrivals of one such sub-horizon.
     pub batch_slots: f64,
@@ -85,7 +153,7 @@ pub struct ServeConfig {
 
 impl ServeConfig {
     /// A serving run over `(0, horizon]` with Poisson gaps of mean
-    /// `mean_interarrival`, unlimited admission, and default pipeline
+    /// `mean_interarrival`, an unbounded budget, and default pipeline
     /// granularity (256-slot batches, depth 4).
     pub fn new(media_len: u64, horizon: f64, mean_interarrival: f64) -> Self {
         Self {
@@ -93,7 +161,7 @@ impl ServeConfig {
             horizon,
             mean_interarrival,
             seed: 7,
-            max_active: None,
+            budget: None,
             batch_slots: 256.0,
             pipeline_depth: 4,
             buffer_bound: None,
@@ -111,6 +179,9 @@ impl ServeConfig {
         if !(self.mean_interarrival > 0.0 && self.mean_interarrival.is_finite()) {
             return bad("mean_interarrival", "must be finite and positive");
         }
+        if self.budget == Some(0) {
+            return bad("budget", "a bounded budget needs at least 1 channel");
+        }
         if !(self.batch_slots >= 1.0 && self.batch_slots.is_finite()) {
             return bad("batch_slots", "must be finite and at least 1");
         }
@@ -121,7 +192,7 @@ impl ServeConfig {
     }
 }
 
-/// Wall-clock ingest cost per admitted arrival, in nanoseconds.
+/// Wall-clock ingest cost per served arrival, in nanoseconds.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub struct LatencyStats {
     /// Median push latency.
@@ -132,13 +203,13 @@ pub struct LatencyStats {
     pub p99_ns: u64,
     /// Worst single push.
     pub max_ns: u64,
-    /// Amortized mean — total ingest time over admitted arrivals.
+    /// Amortized mean — total ingest time over served arrivals.
     pub mean_ns: u64,
 }
 
 impl LatencyStats {
     /// Percentiles of a latency sample; all zeros on an empty sample.
-    fn from_samples(mut ns: Vec<u64>) -> Self {
+    pub(crate) fn from_samples(mut ns: Vec<u64>) -> Self {
         if ns.is_empty() {
             return Self::default();
         }
@@ -158,34 +229,126 @@ impl LatencyStats {
     }
 }
 
-/// What a serving run did: admission counts, the engine's summary, and
-/// the ingest loop's own latency accounting.
+/// Planned start-up delay distribution, in slots. One slot *is* the
+/// guaranteed start-up delay, so every field reads directly as a multiple
+/// of the guarantee; an unbounded budget reports all zeros.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct DelayStats {
+    /// Median planned delay.
+    pub p50_slots: u64,
+    /// 99th-percentile planned delay.
+    pub p99_slots: u64,
+    /// Worst planned delay.
+    pub max_slots: u64,
+    /// Mean planned delay.
+    pub mean_slots: f64,
+}
+
+/// Exact delay tally: delays are small integers (bounded by how long a
+/// license chain can run ahead), so a dense count vector gives exact
+/// percentiles with no per-arrival sample storage and no end-of-run sort
+/// — the growth is amortized out by the worst delay seen, not by the
+/// arrival count.
+#[derive(Debug, Clone, Default)]
+pub(crate) struct DelayHistogram {
+    counts: Vec<u64>,
+    total: u64,
+    sum: u64,
+}
+
+impl DelayHistogram {
+    pub(crate) fn record(&mut self, delay_slots: u64) {
+        let idx = delay_slots as usize;
+        if idx >= self.counts.len() {
+            self.counts.resize(idx + 1, 0);
+        }
+        if let Some(c) = self.counts.get_mut(idx) {
+            *c += 1;
+        }
+        self.total += 1;
+        self.sum += delay_slots;
+    }
+
+    /// Folds `other` into `self` (used for the all-titles aggregate).
+    pub(crate) fn absorb(&mut self, other: &Self) {
+        if other.counts.len() > self.counts.len() {
+            self.counts.resize(other.counts.len(), 0);
+        }
+        for (mine, theirs) in self.counts.iter_mut().zip(&other.counts) {
+            *mine += theirs;
+        }
+        self.total += other.total;
+        self.sum += other.sum;
+    }
+
+    /// The value at quantile `q` under the same rank convention as
+    /// [`LatencyStats`]: the sample at index `round((n − 1)·q)` of the
+    /// sorted sequence.
+    fn quantile(&self, q: f64) -> u64 {
+        let rank = ((self.total.saturating_sub(1)) as f64 * q).round() as u64;
+        let mut seen = 0u64;
+        for (value, &count) in self.counts.iter().enumerate() {
+            seen += count;
+            if seen > rank {
+                return value as u64;
+            }
+        }
+        self.max()
+    }
+
+    fn max(&self) -> u64 {
+        self.counts
+            .iter()
+            .rposition(|&c| c > 0)
+            .map(|i| i as u64)
+            .unwrap_or(0)
+    }
+
+    pub(crate) fn stats(&self) -> DelayStats {
+        if self.total == 0 {
+            return DelayStats::default();
+        }
+        DelayStats {
+            p50_slots: self.quantile(0.50),
+            p99_slots: self.quantile(0.99),
+            max_slots: self.max(),
+            mean_slots: self.sum as f64 / self.total as f64,
+        }
+    }
+}
+
+/// What a single-title serving run did: traffic counts, the delay the
+/// planner handed out, the engine's summary, and the ingest loop's own
+/// latency accounting.
 #[derive(Debug, Clone, PartialEq)]
 pub struct ServeReport {
     /// Arrivals the workload generator produced over the horizon.
     pub generated: usize,
-    /// Arrivals admitted and served (`= summary.summary.clients`).
-    pub admitted: usize,
-    /// Arrivals declined at traffic time by the channel-license gauge.
+    /// Arrivals served (`= generated`; the loop never declines).
+    pub served: usize,
+    /// Always 0 — kept as the observable zero-rejection invariant of the
+    /// delay-planning contract.
     pub rejected: usize,
+    /// Planned start-up delay distribution over all served arrivals.
+    pub delay: DelayStats,
     /// The engine's whole-run aggregates, bit-identical to a batch
-    /// simulation of the same admitted forest.
+    /// simulation of the same served forest.
     pub summary: IncrementalSummary,
-    /// Per-push wall-clock percentiles over admitted arrivals.
+    /// Per-push wall-clock percentiles over served arrivals.
     pub latency: LatencyStats,
 }
 
 /// A serving run could not start or had to stop.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum ServeError {
-    /// A [`ServeConfig`] field is out of range.
+    /// A [`ServeConfig`] / [`MultiServeConfig`] field is out of range.
     Config {
         /// Which field.
         field: &'static str,
         /// What it must satisfy.
         reason: &'static str,
     },
-    /// The merge policy named a parent the loop never admitted — a policy
+    /// The merge policy named a parent the loop never pushed — a policy
     /// contract violation, never reachable with the built-in policies.
     PolicyDesync {
         /// Policy-local index of the arrival being placed.
@@ -202,7 +365,7 @@ pub enum ServeError {
 impl fmt::Display for ServeError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            Self::Config { field, reason } => write!(f, "invalid ServeConfig.{field}: {reason}"),
+            Self::Config { field, reason } => write!(f, "invalid serve config {field}: {reason}"),
             Self::PolicyDesync { node, parent } => {
                 write!(f, "policy placed node {node} under unknown parent {parent}")
             }
@@ -226,136 +389,50 @@ impl From<SimError> for ServeError {
     }
 }
 
-/// Floors a continuous arrival time onto the slot grid. `t` is bounded
-/// by the validated horizon, so the saturating `as` cast is exact.
-fn slot_of(t: f64) -> i64 {
-    t.floor() as i64
-}
-
-/// Nanoseconds since `t0`, saturating instead of unwrapping on the
-/// (centuries-long) overflow path.
-fn elapsed_ns(t0: Instant) -> u64 {
-    u64::try_from(t0.elapsed().as_nanos()).unwrap_or(u64::MAX)
-}
-
-/// Runs a serving session, discarding per-client reports. See
-/// [`serve_with`] to observe them as they stream out.
+/// Runs a single-title serving session, discarding per-client reports.
+/// See [`serve_with`] to observe them as they stream out.
 pub fn serve(config: &ServeConfig) -> Result<ServeReport, ServeError> {
     serve_with(config, |_| {})
 }
 
-/// Runs a serving session end to end: generates the Poisson workload on
-/// a producer thread, ingests it arrival-at-a-time through admission,
-/// policy, and engine, and invokes `on_report` for every served client
-/// the moment its last part-deadline fires (emission order = arrival
-/// order). Returns the aggregate [`ServeReport`].
+/// Runs a single-title serving session end to end: generates the Poisson
+/// workload on a producer thread, ingests it arrival-at-a-time through
+/// delay planning, policy, and engine, and invokes `on_report` for every
+/// served client the moment its last part-deadline fires (emission order
+/// = service order). Returns the aggregate [`ServeReport`].
+///
+/// This is the one-title specialization of [`serve_multi_with`]: same
+/// loop, same traffic (title 0 of the multi loop draws the identical
+/// Poisson process), same dyadic default policy.
 pub fn serve_with<F>(config: &ServeConfig, mut on_report: F) -> Result<ServeReport, ServeError>
 where
     F: FnMut(ClientReport),
 {
     config.validate()?;
-    let media = config.media_len as i64;
-    let cap = config.max_active;
-    let n_batches = (config.horizon / config.batch_slots).ceil() as usize;
-    let (horizon, batch, mean, seed) = (
-        config.horizon,
-        config.batch_slots,
-        config.mean_interarrival,
-        config.seed,
-    );
-
-    let mut engine = IncrementalEngine::new(
-        config.media_len,
-        SimConfig {
+    let multi = MultiServeConfig {
+        titles: vec![TitleConfig {
             buffer_bound: config.buffer_bound,
-            ..SimConfig::events()
-        },
-    )?;
-    let mut policy = DyadicMerger::new(DyadicConfig::golden_poisson(), config.media_len as f64);
-    // Policy-local node index -> engine-global index of that slot's head.
-    let mut slot_reps: Vec<usize> = Vec::new();
-    // Playback-window ends of admitted full streams, soonest first: the
-    // live channel gauge the admission decision reads.
-    let mut windows: BinaryHeap<Reverse<i64>> = BinaryHeap::new();
-    // Most recently admitted slot and its head's global index.
-    let mut cur: Option<(i64, usize)> = None;
-    let mut latencies: Vec<u64> = Vec::new();
-    let (mut generated, mut rejected) = (0usize, 0usize);
-
-    // Workload generation runs on the pipeline's producer thread, at most
-    // `pipeline_depth` batches ahead of ingest. Each batch is an
-    // independent Poisson segment over its sub-horizon; because the
-    // Poisson process has independent, memoryless increments, the
-    // concatenation is distributed exactly as one Poisson process over
-    // the whole horizon — and per-batch seeding keeps every batch a pure
-    // function of (seed, index).
-    pipeline(
-        n_batches,
-        config.pipeline_depth,
-        move |i| -> Result<Vec<f64>, ServeError> {
-            let offset = i as f64 * batch;
-            let span = (horizon - offset).min(batch);
-            let mut proc =
-                PoissonProcess::new(mean, seed ^ (i as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15));
-            Ok(proc.generate(span).iter().map(|t| offset + t).collect())
-        },
-        |_, arrivals| {
-            for t in arrivals {
-                generated += 1;
-                let slot = slot_of(t);
-                // Co-slot arrivals join the already-admitted group for
-                // free: a zero-length stream under the slot head.
-                if let Some((s, head)) = cur {
-                    if s == slot {
-                        let t0 = Instant::now();
-                        engine.push(slot, Attach::Under(head), &mut on_report)?;
-                        latencies.push(elapsed_ns(t0));
-                        continue;
-                    }
-                }
-                // New slot: retire expired playback windows, then read
-                // the license gauge. Both depend only on `slot`, so every
-                // arrival of one slot gets the same verdict.
-                while windows.peek().is_some_and(|&Reverse(end)| end <= slot) {
-                    windows.pop();
-                }
-                if cap.is_some_and(|c| windows.len() >= c) {
-                    rejected += 1;
-                    continue;
-                }
-                let decision = policy.push(slot as f64);
-                let attach = match decision.parent {
-                    None => {
-                        windows.push(Reverse(slot + media));
-                        Attach::Root
-                    }
-                    Some(p) => {
-                        Attach::Under(*slot_reps.get(p).ok_or(ServeError::PolicyDesync {
-                            node: decision.node,
-                            parent: p,
-                        })?)
-                    }
-                };
-                let global = engine.arrivals();
-                let t0 = Instant::now();
-                engine.push(slot, attach, &mut on_report)?;
-                latencies.push(elapsed_ns(t0));
-                slot_reps.push(global);
-                cur = Some((slot, global));
-            }
-            Ok(())
-        },
-    )?;
-
-    let summary = engine.finish(&mut on_report)?;
-    let admitted = generated - rejected;
-    debug_assert_eq!(summary.summary.clients, admitted);
+            ..TitleConfig::new(config.media_len, config.mean_interarrival)
+        }],
+        horizon: config.horizon,
+        budget: config.budget,
+        seed: config.seed,
+        batch_slots: config.batch_slots,
+        pipeline_depth: config.pipeline_depth,
+    };
+    let report = serve_multi_with(&multi, &sm_server::PlannerMemo::new(), |_, r| on_report(r))?;
+    let mut titles = report.titles;
+    let title = titles.drain(..).next().ok_or(ServeError::Config {
+        field: "titles",
+        reason: "single-title run must produce one title report",
+    })?;
     Ok(ServeReport {
-        generated,
-        admitted,
-        rejected,
-        summary,
-        latency: LatencyStats::from_samples(latencies),
+        generated: report.generated,
+        served: report.served,
+        rejected: report.rejected,
+        delay: title.delay,
+        summary: title.summary,
+        latency: report.latency,
     })
 }
 
@@ -364,12 +441,13 @@ mod tests {
     use super::*;
 
     #[test]
-    fn open_admission_serves_every_arrival() {
+    fn unbounded_budget_serves_every_arrival_with_zero_delay() {
         let report = serve(&ServeConfig::new(64, 500.0, 2.0)).unwrap();
         assert!(report.generated > 0, "a 500-slot horizon produces traffic");
         assert_eq!(report.rejected, 0);
-        assert_eq!(report.admitted, report.generated);
-        assert_eq!(report.summary.summary.clients, report.admitted);
+        assert_eq!(report.served, report.generated);
+        assert_eq!(report.summary.summary.clients, report.served);
+        assert_eq!(report.delay, DelayStats::default());
         assert_eq!(
             report.summary.summary.bandwidth.total_units(),
             report.summary.summary.total_units
@@ -385,7 +463,7 @@ mod tests {
         let a = serve(&config).unwrap();
         let b = serve(&config).unwrap();
         assert_eq!(a.generated, b.generated);
-        assert_eq!(a.rejected, b.rejected);
+        assert_eq!(a.delay, b.delay);
         assert_eq!(a.summary, b.summary);
     }
 
@@ -406,55 +484,60 @@ mod tests {
     }
 
     #[test]
-    fn single_license_declines_overflow_and_bounds_retention() {
-        // One channel license over dense traffic: most arrivals outside
-        // the current root's window must be declined, and at most two
-        // trees (the draining one and the live one) are ever retained.
+    fn single_channel_delays_overflow_instead_of_declining() {
+        // One channel over dense traffic: the old loop declined most
+        // arrivals here; the delay planner serves all of them, pushing
+        // start-up back by up to about one media length, and keeps at
+        // most the draining tree plus the live one retained.
         let config = ServeConfig {
-            max_active: Some(1),
+            budget: Some(1),
             ..ServeConfig::new(40, 600.0, 1.0)
         };
         let report = serve(&config).unwrap();
-        assert!(report.admitted > 0);
+        assert_eq!(report.rejected, 0, "delay replaces rejection");
+        assert_eq!(report.served, report.generated);
+        assert_eq!(report.summary.summary.clients, report.generated);
         assert!(
-            report.rejected > 0,
-            "dense traffic must overflow one license"
+            report.delay.max_slots > 0,
+            "dense traffic over one channel must queue"
         );
-        assert_eq!(report.admitted + report.rejected, report.generated);
-        assert_eq!(report.summary.summary.clients, report.admitted);
+        assert!(
+            report.delay.max_slots <= 2 * 40,
+            "one-channel queueing is bounded by chain spacing, got {}",
+            report.delay.max_slots
+        );
+        assert!(report.delay.mean_slots > 0.0);
         assert!(
             report.summary.max_open_trees <= 2,
-            "one license keeps at most a draining tree plus the live one, got {}",
+            "one channel keeps at most a draining tree plus the live one, got {}",
             report.summary.max_open_trees
         );
     }
 
     #[test]
-    fn zero_licenses_decline_everything() {
+    fn zero_budget_is_rejected_as_infeasible() {
         let config = ServeConfig {
-            max_active: Some(0),
+            budget: Some(0),
             ..ServeConfig::new(16, 200.0, 2.0)
         };
-        let report = serve(&config).unwrap();
-        assert_eq!(report.admitted, 0);
-        assert!(report.rejected > 0);
-        assert_eq!(report.summary.summary.clients, 0);
-        assert_eq!(report.summary.summary.total_units, 0);
-        assert_eq!(report.latency, LatencyStats::default());
+        match serve(&config) {
+            Err(ServeError::Config { field, .. }) => assert_eq!(field, "budget"),
+            other => panic!("expected Config error for budget, got {other:?}"),
+        }
     }
 
     #[test]
-    fn reports_stream_out_in_arrival_order() {
+    fn reports_stream_out_in_service_order() {
         let mut clients = Vec::new();
         let report = serve_with(&ServeConfig::new(24, 250.0, 1.0), |r| {
             clients.push(r.client);
         })
         .unwrap();
-        assert_eq!(clients.len(), report.admitted);
-        let in_order: Vec<usize> = (0..report.admitted).collect();
+        assert_eq!(clients.len(), report.served);
+        let in_order: Vec<usize> = (0..report.served).collect();
         assert_eq!(
             clients, in_order,
-            "slot times are sorted, so emission order is arrival order"
+            "service slots are sorted, so emission order is service order"
         );
     }
 
@@ -523,9 +606,29 @@ mod tests {
         };
         assert_eq!(
             e.to_string(),
-            "invalid ServeConfig.horizon: must be finite, positive, and at most 1e15"
+            "invalid serve config horizon: must be finite, positive, and at most 1e15"
         );
         let d = ServeError::PolicyDesync { node: 4, parent: 9 };
         assert_eq!(d.to_string(), "policy placed node 4 under unknown parent 9");
+    }
+
+    #[test]
+    fn delay_histogram_percentiles_are_exact() {
+        let mut h = DelayHistogram::default();
+        for d in [0u64, 0, 0, 1, 1, 2, 5, 5, 9, 40] {
+            h.record(d);
+        }
+        let s = h.stats();
+        // Sorted sample: ranks follow round((n−1)·q), half away from zero.
+        assert_eq!(s.p50_slots, 2);
+        assert_eq!(s.p99_slots, 40);
+        assert_eq!(s.max_slots, 40);
+        assert!((s.mean_slots - 6.3).abs() < 1e-12);
+
+        let mut other = DelayHistogram::default();
+        other.record(100);
+        h.absorb(&other);
+        assert_eq!(h.stats().max_slots, 100);
+        assert_eq!(DelayHistogram::default().stats(), DelayStats::default());
     }
 }

@@ -15,7 +15,7 @@
 //! | [`online`] | §4: on-line delay-guaranteed algorithm, dyadic (α,β) merging, batching, patching/ERMT/tapping baselines |
 //! | [`broadcast`] | §1's static-allocation baselines: staggered, pyramid, skyscraper, fast, harmonic broadcasting |
 //! | [`sim`] | discrete-event Media-on-Demand simulator (correctness oracle) |
-//! | [`serve`] | push-based serving loop: pipelined live ingest, traffic-time admission, latency accounting |
+//! | [`serve`] | the serving layer: multi-title live ingest with traffic-time delay planning — overload becomes start-up delay, never a rejection |
 //! | [`server`] | §5's multi-object server: Zipf catalogs, per-title delay planning, aggregate load |
 //! | [`workload`] | constant-rate / Poisson arrival processes |
 //! | [`experiments`] | regeneration of every figure and table of the paper |

@@ -111,7 +111,14 @@ fn architecture_documents_the_runtime_pieces() {
         "ServeConfig",
         "ServeReport",
         "serve_with",
-        "max_active",
+        "serve_multi",
+        "MultiServeConfig",
+        "TitleConfig",
+        "PolicySwap",
+        "DelayStats",
+        "merge_runs",
+        "license chain",
+        "rejected == 0",
         "simulate_dynamic",
         "simulate_dynamic_sequential",
         "parallel_map",
@@ -199,6 +206,12 @@ fn bench_json_schema_is_documented_field_by_field() {
         "ns_per_arrival",
         "max_open_trees",
         "allocations_per_arrival",
+        // The serve_multi case's optional per-line extras.
+        "titles",
+        "rejected",
+        "delay_p50",
+        "delay_p99",
+        "delay_max",
     ] {
         assert!(
             bench_src.contains(&format!("\\\"{field}\\\"")),
@@ -328,6 +341,75 @@ fn committed_bench_trajectory_has_the_incremental_ingest_datapoint() {
     );
 }
 
+#[test]
+fn committed_bench_trajectory_has_the_serve_multi_datapoint() {
+    let json = read("BENCH_scale.json");
+    let cases = bench_case_lines(&json);
+    let multi = cases
+        .iter()
+        .find(|l| l.contains("serve_multi") && l.contains("\"multi\""))
+        .expect("BENCH_scale.json must carry the serve_multi datapoint");
+    let events = cases
+        .iter()
+        .find(|l| l.contains("events_dg") && l.contains("\"events\""))
+        .expect("BENCH_scale.json must carry the events_dg baseline");
+    assert!(
+        json_number(multi, "arrivals") >= 1_000_000.0,
+        "the committed serve_multi run must be full-size"
+    );
+    assert_eq!(
+        json_number(multi, "titles"),
+        3.0,
+        "the committed serve_multi run drives a three-title catalog"
+    );
+    // The serving-layer contract, observable in the committed trajectory:
+    // nobody is declined, the squeezed budget genuinely binds (nonzero
+    // tail delay), and the ingest thread runs allocation-free.
+    assert_eq!(
+        json_number(multi, "rejected"),
+        0.0,
+        "delay planning never declines"
+    );
+    assert_eq!(
+        json_number(multi, "allocations_per_arrival"),
+        0.0,
+        "the serve_multi ingest thread must run allocation-free in steady state"
+    );
+    for key in ["delay_p50", "delay_p99", "delay_max"] {
+        assert!(
+            json_number(multi, key) >= 0.0,
+            "serve_multi must record {key}"
+        );
+    }
+    assert!(
+        json_number(multi, "delay_p99") > 0.0,
+        "the squeezed shared budget must surface as nonzero tail delay"
+    );
+    assert!(
+        json_number(multi, "delay_max") >= json_number(multi, "delay_p99"),
+        "delay percentiles must be ordered"
+    );
+    assert!(
+        json_number(multi, "memo_hits") > 0.0,
+        "the per-title planned peaks must be served through the memo"
+    );
+    // The whole serving layer — workload generation and fan-in, delay
+    // planning, per-title policy and engine, per-push latency sampling,
+    // and the end-of-run percentile sort — amortizes to within 10x of
+    // the bare batch engine's per-arrival cost (the committed lines may
+    // come from different refresh runs, so the bound also absorbs
+    // machine variance).
+    let (multi_ns, events_ns) = (
+        json_number(multi, "ns_per_arrival"),
+        json_number(events, "ns_per_arrival"),
+    );
+    assert!(
+        multi_ns <= events_ns * 10.0,
+        "committed serve_multi regressed: {multi_ns} ns/arrival > 10x \
+         the events baseline ({events_ns} ns/arrival)"
+    );
+}
+
 /// Structural schema check applied to **both** committed bench snapshots:
 /// the full-size `BENCH_scale.json` and the reduced-N
 /// `BENCH_scale_smoke.json` (written by `SM_SCALE_ARRIVALS` runs, e.g. the
@@ -367,7 +449,7 @@ fn assert_scale_snapshot_schema(json: &str, what: &str) {
             );
         }
         assert!(
-            ["events", "incremental", "pipelined", "sequential"]
+            ["events", "incremental", "multi", "pipelined", "sequential"]
                 .iter()
                 .any(|e| line.contains(&format!("\"engine\": \"{e}\""))),
             "{what}: unknown engine tag in {line}"
